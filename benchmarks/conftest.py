@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark suite.
+
+Each experiment benchmark runs its experiment exactly once (rounds=1) via
+``pytest-benchmark``'s pedantic mode — the experiments are Monte-Carlo
+sweeps whose wall-clock time is the quantity of interest, and repeated
+rounds would multiply minutes of work for no statistical gain.  The
+experiment's result tables are printed so a benchmark run regenerates the
+EXPERIMENTS.md tables.
+"""
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+#: Scale applied to every experiment benchmark.  0.25 keeps a full
+#: benchmark pass in the minutes range; raise to 1.0 to regenerate the
+#: EXPERIMENTS.md numbers at full fidelity.
+BENCH_SCALE = 0.25
+
+
+@pytest.fixture
+def run_experiment_once(benchmark):
+    """Run one experiment under the benchmark timer and print its tables."""
+
+    def runner(experiment_id, scale=BENCH_SCALE, rng=0):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"scale": scale, "rng": rng},
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.render())
+        return result
+
+    return runner

@@ -1,0 +1,54 @@
+"""Benchmarks of the measurement substrate itself.
+
+The Monte-Carlo experiments spend their time in two kernels: drawing a
+hard instance and computing the exact distortion of ``ΠU`` (thin SVD).
+These benches track both, including the structured fast path that makes
+the threshold sweeps feasible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardinstances.dbeta import DBeta
+from repro.linalg.distortion import distortion_of_product, sketched_basis
+from repro.sketch.countsketch import CountSketch
+
+N = 65536
+D = 12
+REPS = 2
+M = 4096
+
+
+@pytest.fixture(scope="module")
+def fixtures():
+    instance = DBeta(n=N, d=D, reps=REPS)
+    sketch = CountSketch(m=M, n=N).sample(0)
+    draw = instance.sample_draw(1)
+    return instance, sketch, draw
+
+
+def test_sample_hard_draw(benchmark, fixtures):
+    instance, _, _ = fixtures
+    benchmark(instance.sample_draw, 2)
+
+
+def test_structured_sketched_basis(benchmark, fixtures):
+    _, sketch, draw = fixtures
+    product = benchmark(draw.sketched_basis, sketch.matrix)
+    assert product.shape == (M, D)
+
+
+def test_dense_sketched_basis_small(benchmark):
+    """The generic dense path at a size where it is still reasonable."""
+    instance = DBeta(n=2048, d=D, reps=REPS)
+    sketch = CountSketch(m=512, n=2048).sample(0)
+    draw = instance.sample_draw(1)
+    product = benchmark(sketched_basis, sketch.matrix, draw.u)
+    assert product.shape == (512, D)
+
+
+def test_distortion_svd(benchmark, fixtures):
+    _, sketch, draw = fixtures
+    product = draw.sketched_basis(sketch.matrix)
+    value = benchmark(distortion_of_product, product)
+    assert value >= 0.0

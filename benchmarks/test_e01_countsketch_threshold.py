@@ -1,0 +1,16 @@
+"""Bench E1 — regenerates the CountSketch-threshold-vs-d table
+(Theorem 8).
+
+The assertion encodes the reproduced shape: the hard-instance threshold
+scales near-quadratically in d while the random-subspace control stays
+near-linear.
+"""
+
+
+def test_e01_countsketch_threshold(run_experiment_once):
+    result = run_experiment_once("E1")
+    assert result.metrics["hard_slope_vs_d"] > 1.4
+    assert (
+        result.metrics["control_slope_vs_d"]
+        < result.metrics["hard_slope_vs_d"]
+    )

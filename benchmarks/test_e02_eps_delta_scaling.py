@@ -1,0 +1,11 @@
+"""Bench E2 — regenerates the eps/delta scaling tables (Theorem 8).
+
+Shape: threshold ~ 1/eps^2 and ~ 1/delta (slope 1 against the exact
+birthday scale).
+"""
+
+
+def test_e02_eps_delta_scaling(run_experiment_once):
+    result = run_experiment_once("E2")
+    assert result.metrics["slope_vs_inv_eps"] > 1.2
+    assert 0.5 < result.metrics["slope_vs_birthday_delta_scale"] < 1.6

@@ -1,0 +1,11 @@
+"""Bench E3 — regenerates the Lemma 6 column-norm transition table.
+
+Shape: failure jumps from ~0 to ~1 exactly as the column norm leaves
+[1 - eps, 1 + eps].
+"""
+
+
+def test_e03_column_norms(run_experiment_once):
+    result = run_experiment_once("E3")
+    assert result.metrics["max_failure_inside"] <= 0.2
+    assert result.metrics["min_failure_outside"] >= 0.8

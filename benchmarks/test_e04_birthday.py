@@ -1,0 +1,10 @@
+"""Bench E4 — regenerates the bucket-collision table (Lemma 7).
+
+Shape: empirical collision probability tracks the exact birthday formula
+across the m sweep.
+"""
+
+
+def test_e04_birthday(run_experiment_once):
+    result = run_experiment_once("E4")
+    assert result.metrics["max_empirical_vs_predicted_gap"] < 0.2

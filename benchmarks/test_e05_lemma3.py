@@ -1,0 +1,10 @@
+"""Bench E5 — regenerates the Lemma 3 anti-concentration table.
+
+Shape: P[<u,v> >= -3 eps] > 2 eps on every adversarial family, including
+the near-tight simplex.
+"""
+
+
+def test_e05_lemma3(run_experiment_once):
+    result = run_experiment_once("E5")
+    assert result.metrics["min_margin"] > 0.0

@@ -1,0 +1,11 @@
+"""Bench E6 — regenerates the Lemma 4 / Fact 5 witness table.
+
+Shape: escape probability >= 1/4 above the lambda > 2 boundary in all
+three block-structure cases, and < 1/2 below it for the distinct case.
+"""
+
+
+def test_e06_witness(run_experiment_once):
+    result = run_experiment_once("E6")
+    assert result.metrics["min_escape_above_threshold"] >= 0.25
+    assert result.metrics["max_escape_below_threshold"] <= 0.5

@@ -1,0 +1,14 @@
+"""Bench E7 — regenerates the Algorithm 1 pair-finding table
+(Lemmas 12/13, Corollary 17).
+
+Shape: the probability of finding a large-inner-product pair decays with
+m, matching min{d^2/m, 1}.
+"""
+
+
+def test_e07_algorithm1(run_experiment_once):
+    result = run_experiment_once("E7")
+    assert (
+        result.metrics["exhaustive_rate_at_small_m"]
+        > result.metrics["exhaustive_rate_at_large_m"]
+    )

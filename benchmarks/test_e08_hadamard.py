@@ -1,0 +1,11 @@
+"""Bench E8 — regenerates the Remark 10 tightness table.
+
+Shape: the block-Hadamard OSE fails with certainty below m ~ d^2 and
+succeeds above, following the birthday rate d^2/(2m).
+"""
+
+
+def test_e08_hadamard(run_experiment_once):
+    result = run_experiment_once("E8")
+    assert result.metrics["failure_at_smallest_m"] > 0.6
+    assert result.metrics["failure_at_largest_m"] < 0.3

@@ -1,0 +1,11 @@
+"""Bench E9 — regenerates the sparsity trade-off table (Theorems 18/20).
+
+Shape: every measured m*(s) with s <= 1/(9 eps) sits above the paper's
+d^2-level floor.
+"""
+
+
+def test_e09_tradeoff(run_experiment_once):
+    result = run_experiment_once("E9")
+    assert result.metrics["floor_respected_everywhere"] == 1.0
+    assert result.metrics["uniform_min_m_over_d2"] >= 1.0

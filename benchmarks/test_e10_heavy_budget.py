@@ -1,0 +1,12 @@
+"""Bench E10 — regenerates the heavy-entry mass-accounting table
+(Lemma 19).
+
+Shape: the per-level mass bound is sound on every family, and deflated
+sketches (mass below (1-eps)^2) fail with certainty.
+"""
+
+
+def test_e10_heavy_budget(run_experiment_once):
+    result = run_experiment_once("E10")
+    assert result.metrics["mass_bound_sound_everywhere"] == 1.0
+    assert result.metrics["min_failure_of_deflated"] >= 0.9

@@ -1,0 +1,13 @@
+"""Bench E11 — regenerates the applications comparison tables
+(introduction's motivation).
+
+Shape: every oblivious family meets the sketch-and-solve guarantee;
+CountSketch has the cheapest application; uniform row sampling breaks on
+the coherent instance.
+"""
+
+
+def test_e11_applications(run_experiment_once):
+    result = run_experiment_once("E11")
+    assert result.metrics["oblivious_within_guarantee"] == 1.0
+    assert result.metrics["rowsampling_coherent_ratio"] > 1.05

@@ -1,0 +1,11 @@
+"""Bench E12 — regenerates the lower-bound regime map (Section 1).
+
+Shape: the paper's bound dominates NN14 wherever both apply, and the
+quadratic-regime threshold improves from 1/eps^4 toward 1/eps^2.
+"""
+
+
+def test_e12_regime_map(run_experiment_once):
+    result = run_experiment_once("E12")
+    assert result.metrics["nn14_beats_theorem18_fraction"] == 0.0
+    assert result.metrics["max_regime_improvement"] > 100

@@ -1,0 +1,11 @@
+"""Bench E13 — regenerates the expected-vs-exact sparsity tables.
+
+Shape: expected-sparsity sketches fail at every m for small E[s]
+(Lemma 6 violated pointwise); exact-sparsity OSNAP succeeds at large m.
+"""
+
+
+def test_e13_expected_sparsity(run_experiment_once):
+    result = run_experiment_once("E13")
+    assert result.metrics["sparsejl_min_failure_small_s"] >= 0.8
+    assert result.metrics["osnap_failure_at_max_m"] <= 0.4

@@ -1,0 +1,10 @@
+"""Bench E14 — regenerates the two-stage escape table.
+
+Shape: the CountSketch -> Gaussian composition reaches a final dimension
+several times below the single sparse sketch's quadratic threshold.
+"""
+
+
+def test_e14_two_stage(run_experiment_once):
+    result = run_experiment_once("E14")
+    assert result.metrics["escape_factor"] > 2.0

@@ -1,0 +1,61 @@
+"""Throughput benchmarks: sketch application cost per family.
+
+The introduction's computational claim — CountSketch applies in
+``O(nnz(A))``, OSNAP in ``O(nnz(A)·s)``, SRHT in ``O(n log n)`` per
+column, Gaussian in ``O(mn)`` per column — measured as wall-clock time of
+``ΠA`` on a fixed tall matrix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.gaussian import GaussianSketch
+from repro.sketch.osnap import OSNAP
+from repro.sketch.srht import SRHT
+
+N = 8192
+D = 16
+M = 1024
+
+
+@pytest.fixture(scope="module")
+def tall_matrix():
+    rng = np.random.default_rng(0)
+    return rng.standard_normal((N, D))
+
+
+def _bench_apply(benchmark, family, tall_matrix):
+    sketch = family.sample(1)
+    result = benchmark(sketch.apply, tall_matrix)
+    assert result.shape == (family.m, D)
+
+
+def test_apply_countsketch(benchmark, tall_matrix):
+    _bench_apply(benchmark, CountSketch(m=M, n=N), tall_matrix)
+
+
+def test_apply_osnap_s4(benchmark, tall_matrix):
+    _bench_apply(benchmark, OSNAP(m=M, n=N, s=4), tall_matrix)
+
+
+def test_apply_osnap_s16(benchmark, tall_matrix):
+    _bench_apply(benchmark, OSNAP(m=M, n=N, s=16), tall_matrix)
+
+
+def test_apply_srht(benchmark, tall_matrix):
+    _bench_apply(benchmark, SRHT(m=M, n=N), tall_matrix)
+
+
+def test_apply_gaussian(benchmark, tall_matrix):
+    _bench_apply(benchmark, GaussianSketch(m=M, n=N), tall_matrix)
+
+
+def test_sample_countsketch(benchmark):
+    family = CountSketch(m=M, n=N)
+    benchmark(family.sample, 0)
+
+
+def test_sample_osnap_s8(benchmark):
+    family = OSNAP(m=M, n=N, s=8)
+    benchmark(family.sample, 0)

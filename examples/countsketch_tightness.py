@@ -1,0 +1,77 @@
+"""Reproduce Theorem 8's shape live: CountSketch needs m ~ d^2/(eps^2 delta).
+
+Sweeps d and eps, locating the minimal target dimension on the paper's
+Section 3 hard mixture and fitting the scaling exponents, then contrasts
+with a Haar-random subspace where the quadratic law disappears.
+
+    python examples/countsketch_tightness.py
+"""
+
+from repro.core import minimal_m, theorem8_lower_bound
+from repro.hardinstances import SpikedSubspace, section3_mixture
+from repro.sketch import CountSketch
+from repro.utils import TextTable, fit_power_law
+
+
+def main():
+    epsilon, delta = 1 / 16, 0.2
+    reps = round(1 / (8 * epsilon))
+
+    # --- d sweep -------------------------------------------------------
+    table = TextTable(
+        title=f"minimal m vs d (eps={epsilon:g}, delta={delta:g})",
+        columns=["d", "m* (hard)", "m* (random subspace)",
+                 "theorem8 shape"],
+    )
+    hard_points, easy_points = [], []
+    for d in (4, 6, 8, 12):
+        q = reps * d
+        n = max(4096, 4 * q * q)
+        hard = section3_mixture(n=n, d=d, epsilon=epsilon)
+        search = minimal_m(
+            CountSketch(m=q, n=n), hard, epsilon, delta, trials=60,
+            m_min=q, rng=d,
+        )
+        easy = SpikedSubspace(n=2048, d=d, alpha=0.0)
+        control = minimal_m(
+            CountSketch(m=4, n=2048), easy, epsilon, delta, trials=30,
+            m_min=4, rng=100 + d,
+        )
+        table.add_row([
+            d, search.m_star, control.m_star,
+            theorem8_lower_bound(d, epsilon, delta),
+        ])
+        hard_points.append((d, search.m_star))
+        easy_points.append((d, control.m_star))
+    print(table)
+    slope_hard, _ = fit_power_law(*zip(*hard_points))
+    slope_easy, _ = fit_power_law(*zip(*easy_points))
+    print(f"\nfitted exponent of m* vs d: hard instance {slope_hard:.2f} "
+          f"(paper: 2), random control {slope_easy:.2f} (expected ~1)")
+
+    # --- eps sweep -------------------------------------------------------
+    d = 8
+    table = TextTable(
+        title=f"minimal m vs eps (d={d}, delta={delta:g})",
+        columns=["1/eps", "m* (hard)"],
+    )
+    points = []
+    for inv_eps in (16, 24, 32, 48):
+        eps = 1 / inv_eps
+        q = round(1 / (8 * eps)) * d
+        n = max(4096, 4 * q * q)
+        hard = section3_mixture(n=n, d=d, epsilon=eps)
+        search = minimal_m(
+            CountSketch(m=q, n=n), hard, eps, delta, trials=60,
+            m_min=q, rng=inv_eps,
+        )
+        table.add_row([inv_eps, search.m_star])
+        points.append((inv_eps, search.m_star))
+    print()
+    print(table)
+    slope, _ = fit_power_law(*zip(*points))
+    print(f"\nfitted exponent of m* vs 1/eps: {slope:.2f} (paper: 2)")
+
+
+if __name__ == "__main__":
+    main()

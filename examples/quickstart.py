@@ -1,0 +1,57 @@
+"""Quickstart: sample a sketch, test the subspace-embedding property.
+
+Runs in a few seconds:
+
+    python examples/quickstart.py
+"""
+
+from repro.core import (
+    failure_estimate,
+    minimal_m,
+    theorem8_lower_bound,
+)
+from repro.hardinstances import DBeta, section3_mixture
+from repro.linalg import distortion
+from repro.sketch import CountSketch, GaussianSketch
+
+
+def main():
+    d, epsilon, delta = 6, 1 / 16, 0.2
+    n = 4096
+
+    # --- one concrete draw -------------------------------------------
+    instance = DBeta(n=n, d=d, reps=1)  # the paper's D_1 hard instance
+    u = instance.sample(rng=0)
+    sketch = CountSketch(m=2048, n=n).sample(rng=1)
+    print(f"one CountSketch draw: distortion on D_1 = "
+          f"{distortion(sketch.matrix, u):.4f} (eps = {epsilon:.4f})")
+
+    # --- failure probability over the hard mixture -------------------
+    hard = section3_mixture(n=n, d=d, epsilon=epsilon)
+    for m in (64, 512, 4096):
+        family = CountSketch(m=m, n=n)
+        est = failure_estimate(family, hard, epsilon, trials=100, rng=2)
+        print(f"CountSketch m={m:5d}: failure probability {est}")
+
+    # --- minimal dimension vs the Theorem 8 prediction ---------------
+    search = minimal_m(
+        CountSketch(m=16, n=n), hard, epsilon, delta, trials=60,
+        m_min=16, rng=3,
+    )
+    print(f"\nempirical minimal m for (eps={epsilon:g}, delta={delta:g}): "
+          f"{search.m_star}")
+    print(f"Theorem 8 lower-bound shape d^2/(eps^2 delta) = "
+          f"{theorem8_lower_bound(d, epsilon, delta):.0f} "
+          f"(up to the absolute constant)")
+
+    # --- the dense baseline needs far fewer rows ----------------------
+    m_gauss = GaussianSketch.recommended_m(d, epsilon, delta)
+    est = failure_estimate(
+        GaussianSketch(m=m_gauss, n=n), hard, epsilon, trials=30, rng=4
+    )
+    print(f"\nGaussian baseline at m={m_gauss}: failure {est}")
+    print("(dense sketches escape the quadratic bound; sparse ones cannot)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Sketch-and-solve least squares with every sketch family.
+
+The introduction's motivating workload: solve an overdetermined
+regression by sketching, compare realized error ratios against the
+``(1+ε)/(1-ε)`` guarantee, and observe the cost/dimension trade-off —
+including why uniform row sampling (non-oblivious) breaks on coherent
+inputs.
+
+    python examples/regression_sketching.py
+"""
+
+import numpy as np
+
+from repro.apps import error_ratio_bound, sketched_lstsq
+from repro.experiments import regression_problem
+from repro.sketch import (
+    CountSketch,
+    GaussianSketch,
+    OSNAP,
+    RowSampling,
+    SRHT,
+)
+from repro.utils import TextTable
+
+
+def main():
+    n, d = 8192, 6
+    epsilon, delta = 0.25, 0.2
+
+    a_easy, b_easy = regression_problem(n, d, noise=0.3, rng=0)
+    a_hard, b_hard = regression_problem(
+        n, d, noise=0.3, coherent=True, rng=1
+    )
+
+    s = OSNAP.recommended_s(d + 1, epsilon, delta)
+    families = [
+        CountSketch(
+            m=min(n, CountSketch.recommended_m(d + 1, epsilon, delta)), n=n
+        ),
+        OSNAP(
+            m=min(n, OSNAP.recommended_m(d + 1, epsilon, delta)), n=n, s=s
+        ),
+        SRHT(m=min(n, SRHT.recommended_m(d + 1, epsilon, delta)), n=n),
+        GaussianSketch(
+            m=min(n, GaussianSketch.recommended_m(d + 1, epsilon, delta)),
+            n=n,
+        ),
+        RowSampling(m=1024, n=n),
+    ]
+
+    table = TextTable(
+        title=(
+            f"sketch-and-solve regression (n={n}, d={d}, "
+            f"guarantee ratio <= {error_ratio_bound(epsilon):.3f})"
+        ),
+        columns=["family", "m", "ratio (incoherent)", "ratio (coherent)",
+                 "apply cost"],
+    )
+    for family in families:
+        easy = sketched_lstsq(a_easy, b_easy, family, rng=2)
+        hard = sketched_lstsq(a_hard, b_hard, family, rng=3)
+        table.add_row([
+            family.name, family.m, easy.ratio, hard.ratio,
+            easy.sketch_cost,
+        ])
+    print(table)
+    print(
+        "\nCountSketch applies at cost ~nnz(A) but pays m = Theta(d^2) — "
+        "the paper proves this dimension cannot be improved.\n"
+        "Row sampling is cheapest of all but silently fails on the "
+        "coherent instance (ratio >> guarantee): obliviousness matters."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Extract an explicit Lemma 4 witness against an undersized sketch.
+
+This walks the paper's lower-bound argument on a concrete matrix: an
+abundant block-Hadamard sketch with m far below d^2 is fed the hard
+instance D_1; Algorithm 1 finds a colliding column pair of Pi V with a
+large inner product, and Lemma 4 converts it into a unit vector u whose
+sketched norm provably anti-concentrates.
+
+    python examples/witness_extraction.py
+"""
+
+import numpy as np
+
+from repro.core import certify, witness_from_algorithm1
+from repro.hardinstances import DBeta
+from repro.sketch import HadamardBlockSketch
+
+
+def main():
+    epsilon = 1 / 32
+    n, d = 2048, 16
+    # The Remark 10 construction *would* work at m = O(d^2/delta); give it
+    # only m = 64 << d^2 = 256 rows so Theorem 9 applies.
+    family = HadamardBlockSketch(m=64, n=n, block_order=4)
+    pi = family.sample(rng=0).matrix
+    instance = DBeta(n=n, d=d, reps=1)
+
+    print(f"Pi: {pi.shape[0]} x {pi.shape[1]}, column sparsity "
+          f"{family.block_order}, d = {d} (d^2 = {d * d})\n")
+
+    # --- global verdict -------------------------------------------------
+    cert = certify(pi, instance, epsilon, delta=0.1, trials=60,
+                   strategy="svd", rng=1)
+    print(f"certification: {cert}\n")
+
+    # --- one explicit witness -------------------------------------------
+    for seed in range(50):
+        draw = instance.sample_draw(rng=seed)
+        report = witness_from_algorithm1(pi, draw, epsilon, rng=seed)
+        if report is not None:
+            print("witness found via Algorithm 1 + Lemma 4:")
+            print(f"  V-columns p={report.p}, q={report.q} "
+                  f"(Pi columns {draw.rows[report.p]}, "
+                  f"{draw.rows[report.q]})")
+            print(f"  inner product <Pi_p, Pi_q> = "
+                  f"{report.inner_product:+.4f} "
+                  f"(threshold {report.threshold:.4f})")
+            nz = np.flatnonzero(report.u)
+            print(f"  witness vector u: support {list(nz)}, "
+                  f"values {report.u[nz]}")
+            print(f"  measured P[ ||Pi U u||^2 escapes "
+                  f"[(1-eps)^2, (1+eps)^2] ] = {report.escape} "
+                  f"(Lemma 4 promises >= 1/4)")
+            break
+    else:
+        print("no witness found in 50 draws (unexpected at this m)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``wheel`` for PEP 660
+editable installs; this shim lets ``python setup.py develop`` work as a
+fallback in fully offline environments.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""repro — reproduction of *Lower Bounds for Sparse Oblivious Subspace
+Embeddings* (Yi Li & Mingmou Liu, PODS 2022).
+
+The package provides:
+
+* :mod:`repro.sketch` — every sketch construction the paper discusses
+  (CountSketch, OSNAP, Gaussian, sparse JL, SRHT, the Remark 10
+  block-Hadamard OSE, row sampling);
+* :mod:`repro.hardinstances` — the hard-instance distributions ``D_β`` of
+  Definition 2 and the mixtures of Sections 3 and 5;
+* :mod:`repro.core` — executable versions of the paper's lemmas and
+  Algorithm 1/2, closed-form bound formulas, Monte-Carlo subspace-embedding
+  testing, and end-to-end lower-bound certification;
+* :mod:`repro.linalg` — the numerical substrate (distortion via singular
+  values, Gram tools, Hadamard transforms);
+* :mod:`repro.apps` — the downstream tasks motivating OSEs (regression,
+  low-rank approximation, k-means, leverage scores);
+* :mod:`repro.experiments` — the experiment harness regenerating every
+  table in EXPERIMENTS.md.
+
+Quickstart::
+
+    from repro.sketch import CountSketch
+    from repro.hardinstances import section3_mixture
+    from repro.core import failure_estimate
+
+    d, eps, delta = 8, 0.1, 0.1
+    n = 4 * d * d  # ambient dimension
+    inst = section3_mixture(n=n, d=d, epsilon=eps)
+    fam = CountSketch(m=CountSketch.recommended_m(d, eps, delta), n=n)
+    print(failure_estimate(fam, inst, eps, trials=100, rng=0))
+"""
+
+from . import apps, core, hardinstances, linalg, sketch, utils
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "apps",
+    "core",
+    "hardinstances",
+    "linalg",
+    "sketch",
+    "utils",
+    "__version__",
+]

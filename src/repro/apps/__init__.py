@@ -1,0 +1,42 @@
+"""Downstream applications of OSEs (the introduction's motivating tasks)."""
+
+from .cca import CCAResult, canonical_correlations, sketched_cca
+
+from .kmeans import (
+    SketchedKMeansResult,
+    kmeans_cost,
+    lloyd_kmeans,
+    sketched_kmeans,
+)
+from .leverage import (
+    LeverageResult,
+    exact_leverage_scores,
+    sketched_leverage_scores,
+)
+from .lowrank import LowRankResult, best_rank_k, sketched_low_rank
+from .regression import (
+    RegressionResult,
+    error_ratio_bound,
+    lstsq,
+    sketched_lstsq,
+)
+
+__all__ = [
+    "CCAResult",
+    "canonical_correlations",
+    "sketched_cca",
+    "SketchedKMeansResult",
+    "kmeans_cost",
+    "lloyd_kmeans",
+    "sketched_kmeans",
+    "LeverageResult",
+    "exact_leverage_scores",
+    "sketched_leverage_scores",
+    "LowRankResult",
+    "best_rank_k",
+    "sketched_low_rank",
+    "RegressionResult",
+    "error_ratio_bound",
+    "lstsq",
+    "sketched_lstsq",
+]

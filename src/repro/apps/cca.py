@@ -1,0 +1,99 @@
+"""Sketched canonical correlation analysis (CCA).
+
+The introduction cites Avron–Boutsidis–Toledo–Zouzias: CCA between two
+tall matrices ``X ∈ R^{n×p}`` and ``Y ∈ R^{n×q}`` computes the principal
+angles between their column spaces — the singular values of ``Qxᵀ Qy``
+for orthonormal bases ``Qx, Qy``.  Sketching the shared row space with an
+OSE preserves every canonical correlation to additive ``O(ε)``.
+
+We implement exact CCA (QR-based) and the sketched pipeline, reporting
+the worst correlation error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sketch.base import SketchFamily
+from ..utils.rng import RngLike, as_generator
+from ..utils.validation import check_matrix
+
+__all__ = ["canonical_correlations", "CCAResult", "sketched_cca"]
+
+
+def canonical_correlations(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Exact canonical correlations of ``range(x)`` and ``range(y)``.
+
+    Returns the cosines of the principal angles, sorted descending, one
+    per ``min(rank(x), rank(y))`` (computed via thin QR + SVD, values
+    clipped into [0, 1]).
+    """
+    x = check_matrix(x, "x")
+    y = check_matrix(y, "y")
+    if x.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"x and y must share the sample dimension, got {x.shape[0]} "
+            f"vs {y.shape[0]}"
+        )
+    qx, rx = np.linalg.qr(x)
+    qy, ry = np.linalg.qr(y)
+    # Drop numerically dependent columns to the actual ranks.
+    keep_x = np.abs(np.diag(rx)) > 1e-12 * max(1.0, np.abs(rx).max())
+    keep_y = np.abs(np.diag(ry)) > 1e-12 * max(1.0, np.abs(ry).max())
+    sigma = np.linalg.svd(
+        qx[:, keep_x].T @ qy[:, keep_y], compute_uv=False
+    )
+    return np.clip(np.sort(sigma)[::-1], 0.0, 1.0)
+
+
+@dataclass(frozen=True)
+class CCAResult:
+    """Outcome of sketched CCA.
+
+    Attributes
+    ----------
+    correlations:
+        Canonical correlations computed in the sketched space.
+    exact:
+        Exact correlations (for diagnostics).
+    max_error:
+        ``max_i |corr_i - exact_i|`` — the additive error the OSE
+        guarantee bounds by O(ε).
+    m:
+        Sketch target dimension used.
+    """
+
+    correlations: np.ndarray
+    exact: np.ndarray
+    max_error: float
+    m: int
+
+
+def sketched_cca(x: np.ndarray, y: np.ndarray, family: SketchFamily,
+                 rng: RngLike = None) -> CCAResult:
+    """Compute CCA on ``(Πx, Πy)`` for one sketch draw and compare.
+
+    ``family.n`` must equal the shared sample dimension.
+    """
+    x = check_matrix(x, "x")
+    y = check_matrix(y, "y")
+    if x.shape[0] != y.shape[0]:
+        raise ValueError("x and y must share the sample dimension")
+    if family.n != x.shape[0]:
+        raise ValueError(
+            f"family ambient dimension ({family.n}) must equal the "
+            f"sample dimension ({x.shape[0]})"
+        )
+    sketch = family.sample(as_generator(rng))
+    sx = sketch.apply(x)
+    sy = sketch.apply(y)
+    approx = canonical_correlations(sx, sy)
+    exact = canonical_correlations(x, y)
+    k = min(approx.size, exact.size)
+    max_error = float(np.max(np.abs(approx[:k] - exact[:k]))) if k else 0.0
+    return CCAResult(
+        correlations=approx, exact=exact, max_error=max_error,
+        m=sketch.m,
+    )

@@ -1,0 +1,90 @@
+"""Sketched low-rank approximation.
+
+Randomized range-finding: sketch the row space with an OSE, project, and
+truncate.  For ``A ∈ R^{n×c}`` and target rank ``k``, compute ``ΠA``
+(``m × c``), take the top-``k`` right singular subspace ``V_k`` of ``ΠA``,
+and output ``Â = A V_k V_kᵀ``.  When ``Π`` ε-embeds the relevant subspaces,
+``‖A - Â‖_F ≤ (1 + O(ε)) ‖A - A_k‖_F``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..sketch.base import SketchFamily
+from ..utils.rng import RngLike, as_generator
+from ..utils.validation import check_matrix, check_positive_int
+
+__all__ = ["LowRankResult", "best_rank_k", "sketched_low_rank"]
+
+
+@dataclass(frozen=True)
+class LowRankResult:
+    """Outcome of sketched low-rank approximation.
+
+    Attributes
+    ----------
+    approximation:
+        The rank-≤k approximation ``Â``.
+    error:
+        ``‖A - Â‖_F``.
+    optimal_error:
+        ``‖A - A_k‖_F`` of the truncated SVD (when requested).
+    m:
+        Sketch target dimension used.
+    """
+
+    approximation: np.ndarray
+    error: float
+    optimal_error: Optional[float]
+    m: int
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """Error ratio against the optimal rank-k error."""
+        if self.optimal_error is None or self.optimal_error == 0:
+            return None
+        return self.error / self.optimal_error
+
+
+def best_rank_k(a: np.ndarray, k: int) -> np.ndarray:
+    """The optimal rank-``k`` approximation via truncated SVD."""
+    a = check_matrix(a, "a")
+    k = check_positive_int(k, "k")
+    u, s, vt = np.linalg.svd(a, full_matrices=False)
+    k = min(k, s.size)
+    return (u[:, :k] * s[:k]) @ vt[:k]
+
+
+def sketched_low_rank(a: np.ndarray, k: int, family: SketchFamily,
+                      rng: RngLike = None,
+                      compare_exact: bool = True) -> LowRankResult:
+    """Rank-``k`` approximation of ``a`` through a sketched row space.
+
+    The family's ambient dimension must equal ``a.shape[0]`` (the sketch
+    compresses rows).
+    """
+    a = check_matrix(a, "a")
+    k = check_positive_int(k, "k")
+    if family.n != a.shape[0]:
+        raise ValueError(
+            f"family ambient dimension ({family.n}) must equal the row "
+            f"count of a ({a.shape[0]})"
+        )
+    sketch = family.sample(as_generator(rng))
+    compressed = sketch.apply(a)
+    _, _, vt = np.linalg.svd(compressed, full_matrices=False)
+    keep = min(k, vt.shape[0])
+    v_k = vt[:keep].T
+    approx = (a @ v_k) @ v_k.T
+    error = float(np.linalg.norm(a - approx))
+    optimal = None
+    if compare_exact:
+        optimal = float(np.linalg.norm(a - best_rank_k(a, k)))
+    return LowRankResult(
+        approximation=approx, error=error, optimal_error=optimal,
+        m=sketch.m,
+    )

@@ -1,0 +1,340 @@
+"""Algorithm 1 / Algorithm 2: finding disjoint good column pairs.
+
+This is a faithful implementation of the paper's Algorithm 1 (Section 4.1)
+and its Section 5 generalization Algorithm 2, which differ only in the
+heavy threshold, the φ cutoff, and the iteration count — all exposed as
+parameters of :class:`GreedyPairFinder`.
+
+The algorithm receives the good columns ``C_1, …, C_g`` chosen by ``V`` (in
+sampling order) and greedily outputs disjoint colliding pairs while
+maintaining the invariant of Lemma 11: conditioned on the history, the
+surviving ``{C_i}_{i ∈ S_k}`` are i.i.d. uniform over the surviving good
+set ``G_k``.  Two breaking modes of the inner while-loop correspond to the
+two probability bounds of Lemmas 12 and 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..utils.rng import RngLike, as_generator
+from ..utils.validation import check_positive_int
+from .heavy import heavy_mask
+
+__all__ = [
+    "PairEvent",
+    "PairFinderResult",
+    "GreedyPairFinder",
+    "run_algorithm1",
+    "run_algorithm2",
+]
+
+MatrixLike = Union[np.ndarray, sp.spmatrix]
+
+#: The paper's η constant (Algorithm 1 sets η = 3).
+ETA = 3.0
+
+
+@dataclass(frozen=True)
+class PairEvent:
+    """One output of the algorithm.
+
+    ``kind`` records which branch produced it:
+
+    * ``"pair_heavy_row"`` — Line 23: two columns sampled from the same
+      heavy row (the Lemma 12 case);
+    * ``"pair_greedy"`` — Line 39: ``C_j`` paired with a colliding
+      ``C_{j'}`` (the Lemma 13 case);
+    * ``"row_removed"`` — Lines 15/27: output ``(ℓ, ⊥)``, a heavy row was
+      retired;
+    * ``"absent"`` — Line 34: output ``(⊥, ⊥)``, index ``j`` already used;
+    * ``"no_collision"`` — Line 43: output ``(⊥, C_j)``, ``C_j`` collides
+      with nothing.
+
+    ``left``/``right`` are column indices of ``Π`` for pair events, ``row``
+    is the retired heavy row for ``row_removed``.
+    """
+
+    kind: str
+    left: Optional[int] = None
+    right: Optional[int] = None
+    row: Optional[int] = None
+    k: int = 0
+
+
+@dataclass
+class PairFinderResult:
+    """Full trace of one run.
+
+    Attributes
+    ----------
+    events:
+        Every output in order.
+    pairs:
+        The colliding column pairs ``(i, j)`` (indices into ``Π``).
+    heavy_break_count / phi_break_count:
+        How many for-iterations ended with the while-loop broken by the
+        ``S'_k ≠ ∅`` event vs the small-φ event — the case split of
+        Corollary 17.
+    final_good_count / final_surviving:
+        ``|G_k|`` and ``|S_k|`` at termination.
+    """
+
+    events: List[PairEvent] = field(default_factory=list)
+    pairs: List[Tuple[int, int]] = field(default_factory=list)
+    heavy_break_count: int = 0
+    phi_break_count: int = 0
+    final_good_count: int = 0
+    final_surviving: int = 0
+
+    @property
+    def pair_count(self) -> int:
+        return len(self.pairs)
+
+
+class GreedyPairFinder:
+    """Parametrized Algorithm 1/2 runner.
+
+    Parameters
+    ----------
+    pi:
+        The sketching matrix ``Π`` (dense or sparse).
+    chosen_columns:
+        The good columns chosen by ``V`` in sampling order — the paper's
+        ``(C_1, …, C_g)``.  All must belong to ``good_set``.
+    good_set:
+        Indices of all good columns of ``Π`` (the paper's ``G``).
+    theta:
+        Heavy threshold (``√(8ε)`` for Algorithm 1, ``√(2^{-ℓ})`` for
+        Algorithm 2).
+    phi_threshold:
+        The φ cutoff (``η/d`` for Algorithm 1,
+        ``η/(ε^{δ'} d 2^{ℓ'})`` for Algorithm 2).
+    iterations:
+        Number of for-loop iterations (``d/16`` resp.
+        ``ε^{δ'} d 2^{ℓ'}/16``).
+    """
+
+    def __init__(self, pi: MatrixLike, chosen_columns: Sequence[int],
+                 good_set: Sequence[int], theta: float,
+                 phi_threshold: float, iterations: int,
+                 rng: RngLike = None):
+        if theta <= 0:
+            raise ValueError(f"theta must be positive, got {theta}")
+        if phi_threshold <= 0:
+            raise ValueError(
+                f"phi_threshold must be positive, got {phi_threshold}"
+            )
+        self._iterations = check_positive_int(iterations, "iterations")
+        self._theta = float(theta)
+        self._phi_threshold = float(phi_threshold)
+        self._rng = as_generator(rng)
+        self._heavy = heavy_mask(pi, theta).tocsc()
+        good = np.asarray(sorted(set(int(c) for c in good_set)), dtype=int)
+        chosen = np.asarray(chosen_columns, dtype=int)
+        if chosen.size and not np.all(np.isin(chosen, good)):
+            raise ValueError("every chosen column must belong to good_set")
+        self._chosen = chosen
+        self._good_alive = dict.fromkeys(good.tolist(), True)
+        self._collision_cache = None  # lazily recomputed on G_k change
+
+    # -- collision structure over the current good set -------------------
+
+    def _alive_good(self) -> np.ndarray:
+        return np.asarray(
+            [c for c, alive in self._good_alive.items() if alive], dtype=int
+        )
+
+    def _invalidate(self) -> None:
+        self._collision_cache = None
+
+    def _collision_structure(self):
+        """(alive columns, col→pos map, boolean collision CSR, heavy sub)."""
+        if self._collision_cache is None:
+            alive = self._alive_good()
+            sub = self._heavy[:, alive]
+            counts = (sub.T @ sub).tocsr()
+            counts.eliminate_zeros()
+            positions = {int(c): idx for idx, c in enumerate(alive)}
+            self._collision_cache = (alive, positions, counts, sub)
+        return self._collision_cache
+
+    def _phi_values(self) -> np.ndarray:
+        """φ_{k,c} for every alive good column (uniform incl. ``c`` itself)."""
+        alive, _, counts, _ = self._collision_structure()
+        if alive.size == 0:
+            return np.zeros(0)
+        colliding = np.diff(counts.indptr)  # nonzeros per row = |{c' : c'↔c}|
+        return colliding / alive.size
+
+    def _heaviest_row(self) -> Tuple[int, np.ndarray]:
+        """Row ℓ maximizing ``|G_k^ℓ|`` and that heavy set (column ids)."""
+        alive, _, _, sub = self._collision_structure()
+        row_sizes = np.asarray(sub.sum(axis=1)).ravel()
+        best = int(np.argmax(row_sizes)) if row_sizes.size else 0
+        csr = sub.tocsr()
+        members = alive[csr.indices[csr.indptr[best]:csr.indptr[best + 1]]]
+        return best, members
+
+    def _collides(self, a: int, b: int) -> bool:
+        """``a ↔ b`` for alive good columns ``a, b``."""
+        _, positions, counts, _ = self._collision_structure()
+        pa, pb = positions[a], positions[b]
+        return counts[pa, pb] > 0
+
+    def _colliding_set(self, c: int) -> np.ndarray:
+        """All alive good columns colliding with ``c`` (including ``c``)."""
+        alive, positions, counts, _ = self._collision_structure()
+        row = counts.getrow(positions[c])
+        return alive[row.indices]
+
+    def _remove_good(self, columns: Sequence[int]) -> None:
+        for c in columns:
+            self._good_alive[int(c)] = False
+        self._invalidate()
+
+    # -- main loop --------------------------------------------------------
+
+    def run(self) -> PairFinderResult:
+        """Execute the algorithm and return the full trace."""
+        result = PairFinderResult()
+        surviving = set(range(self._chosen.size))  # the paper's S_k (0-based)
+        k = 1
+        heavy_at = None  # Π column ids with a heavy entry at ℓ (row event)
+
+        for j in range(self._iterations):
+            # ---- while-loop: retire rows until φ is small or S'_k hits --
+            break_reason = None
+            s_prime: set = set()
+            while True:
+                alive = self._alive_good()
+                if alive.size == 0:
+                    break_reason = "phi"
+                    s_prime = set()
+                    break
+                phi = self._phi_values()
+                row, members = self._heaviest_row()
+                member_set = set(int(c) for c in members)
+                s_prime = {
+                    i for i in surviving
+                    if int(self._chosen[i]) in member_set
+                }
+                if np.all(phi <= self._phi_threshold):
+                    s_prime = set()
+                    break_reason = "phi"
+                    break
+                if s_prime:
+                    break_reason = "heavy"
+                    break
+                result.events.append(
+                    PairEvent(kind="row_removed", row=row, k=k)
+                )
+                self._remove_good(members)
+                k += 1
+
+            if break_reason == "heavy":
+                result.heavy_break_count += 1
+            else:
+                result.phi_break_count += 1
+
+            # ---- for-loop body ------------------------------------------
+            if s_prime:
+                if len(s_prime) >= 2:
+                    picked = self._rng.choice(
+                        sorted(s_prime), size=2, replace=False
+                    )
+                    j1, j2 = int(picked[0]), int(picked[1])
+                    ci, cj = int(self._chosen[j1]), int(self._chosen[j2])
+                    result.events.append(PairEvent(
+                        kind="pair_heavy_row", left=ci, right=cj, k=k,
+                    ))
+                    result.pairs.append((ci, cj))
+                    surviving -= {j1, j2}
+                else:
+                    row, members = self._heaviest_row()
+                    result.events.append(
+                        PairEvent(kind="row_removed", row=row, k=k)
+                    )
+                    surviving -= s_prime
+                    self._remove_good(members)
+            elif j not in surviving:
+                result.events.append(PairEvent(kind="absent", k=k))
+            else:
+                cj = int(self._chosen[j])
+                candidates = [
+                    i for i in surviving
+                    if i != j and self._collides(int(self._chosen[i]), cj)
+                ]
+                if candidates:
+                    j_prime = int(self._rng.choice(candidates))
+                    ci = int(self._chosen[j_prime])
+                    result.events.append(PairEvent(
+                        kind="pair_greedy", left=ci, right=cj, k=k,
+                    ))
+                    result.pairs.append((ci, cj))
+                    surviving -= {j, j_prime}
+                else:
+                    result.events.append(
+                        PairEvent(kind="no_collision", right=cj, k=k)
+                    )
+                    surviving.discard(j)
+                    self._remove_good(self._colliding_set(cj))
+            k += 1
+
+        result.final_good_count = int(self._alive_good().size)
+        result.final_surviving = len(surviving)
+        return result
+
+
+def run_algorithm1(pi: MatrixLike, chosen_columns: Sequence[int],
+                   good_set: Sequence[int], epsilon: float, d: int,
+                   rng: RngLike = None) -> PairFinderResult:
+    """Algorithm 1 with the paper's parameters.
+
+    Heavy threshold ``√(8ε)``, φ cutoff ``η/d`` with ``η = 3``, and
+    ``d/16`` iterations (at least 1).
+    """
+    if not (0 < epsilon < 1):
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+    d = check_positive_int(d, "d")
+    finder = GreedyPairFinder(
+        pi=pi,
+        chosen_columns=chosen_columns,
+        good_set=good_set,
+        theta=np.sqrt(8.0 * epsilon),
+        phi_threshold=ETA / d,
+        iterations=max(1, d // 16),
+        rng=rng,
+    )
+    return finder.run()
+
+
+def run_algorithm2(pi: MatrixLike, chosen_columns: Sequence[int],
+                   good_set: Sequence[int], epsilon: float, d: int,
+                   level: int, level_prime: int, delta_prime: float,
+                   rng: RngLike = None) -> PairFinderResult:
+    """Algorithm 2 (Section 5) with heavy threshold ``√(2^{-ℓ})``.
+
+    φ cutoff ``η/(ε^{δ'} d 2^{ℓ'})`` and ``ε^{δ'} d 2^{ℓ'}/16`` iterations
+    (at least 1).
+    """
+    if not (0 < epsilon < 1):
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+    d = check_positive_int(d, "d")
+    if level < 0 or level_prime < 0:
+        raise ValueError("levels must be nonnegative")
+    effective_d = epsilon**delta_prime * d * 2**level_prime
+    finder = GreedyPairFinder(
+        pi=pi,
+        chosen_columns=chosen_columns,
+        good_set=good_set,
+        theta=np.sqrt(2.0 ** (-level)),
+        phi_threshold=ETA / max(effective_d, 1.0),
+        iterations=max(1, int(effective_d // 16)),
+        rng=rng,
+    )
+    return finder.run()

@@ -1,0 +1,220 @@
+"""Closed-form lower and upper bounds on the OSE target dimension.
+
+Collects, as plain functions, every bound discussed in the paper:
+
+Lower bounds (what any OSE must satisfy):
+
+* :func:`theorem8_lower_bound` — this paper, ``s = 1``:
+  ``m = Ω(d²/(ε²δ))``.
+* :func:`theorem9_lower_bound` — this paper, ``s ≤ 1/(9ε)`` + abundance:
+  ``m > d²``.
+* :func:`theorem18_lower_bound` — this paper, ``s ≤ 1/(9ε)``:
+  ``m = Ω(c₀ log⁻⁴(1/ε) ε^{K₁δ} d²)``.
+* :func:`theorem20_lower_bound` — this paper, trade-off in ``s``:
+  ``m = Ω(log⁻⁴(s) s^{-K₁δ} d²)``.
+* :func:`nn13b_lower_bound` — Nelson–Nguyễn 2013, ``s = 1``: ``m = Ω(d²)``.
+* :func:`nn14_sparse_lower_bound` — Nelson–Nguyễn 2014, ``s = O(1/ε)``:
+  ``m = Ω(ε²d²)``.
+* :func:`dense_lower_bound` — Nelson–Nguyễn 2014, unrestricted ``s``:
+  ``m = Ω((d + log(1/δ))/ε²)``.
+
+Upper bounds (constructions): re-exported from the sketch families.
+
+The asymptotic constants are all normalized to 1 by default; the functions
+exist to compare *shapes* (who dominates where) and to parameterize the
+experiments, not to certify finite-``n`` constants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from ..utils.validation import (
+    check_epsilon,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "theorem8_lower_bound",
+    "theorem8_n",
+    "theorem9_lower_bound",
+    "theorem18_lower_bound",
+    "theorem18_n",
+    "theorem20_lower_bound",
+    "nn13b_lower_bound",
+    "nn14_sparse_lower_bound",
+    "dense_lower_bound",
+    "max_sparsity_for_quadratic",
+    "delta_prime",
+    "BoundComparison",
+    "compare_lower_bounds",
+    "quadratic_regime_threshold",
+]
+
+
+def theorem8_lower_bound(d: int, epsilon: float, delta: float,
+                         constant: float = 1.0) -> float:
+    """Theorem 8: any ``s = 1`` OSE needs ``m ≥ c · d²/(ε²δ)``."""
+    d = check_positive_int(d, "d")
+    epsilon = check_epsilon(epsilon, upper=1.0 / 8.0)
+    delta = check_probability(delta, "delta")
+    return constant * d * d / (epsilon**2 * delta)
+
+
+def theorem8_n(d: int, epsilon: float, delta: float,
+               constant: float = 4.0) -> int:
+    """The ambient dimension ``n ≥ K d²/(ε²δ)`` Theorem 8 requires."""
+    d = check_positive_int(d, "d")
+    epsilon = check_epsilon(epsilon, upper=1.0 / 8.0)
+    delta = check_probability(delta, "delta")
+    return max(d, math.ceil(constant * d * d / (epsilon**2 * delta)))
+
+
+def theorem9_lower_bound(d: int) -> float:
+    """Theorem 9: under the abundance assumption, ``m > d²``."""
+    d = check_positive_int(d, "d")
+    return float(d * d)
+
+
+def delta_prime(epsilon: float) -> float:
+    """The paper's ``δ' = log log(1/ε^72) / log(1/ε)`` (Section 5)."""
+    epsilon = check_epsilon(epsilon)
+    return math.log(math.log(1.0 / epsilon**72)) / math.log(1.0 / epsilon)
+
+
+def theorem18_lower_bound(d: int, epsilon: float, delta: float,
+                          k1: float = 1.0, c0: float = 1.0) -> float:
+    """Theorem 18: ``m ≥ c₀ log⁻⁴(1/ε) ε^{K₁δ} d²`` for ``s ≤ 1/(9ε)``.
+
+    With ``K₁δ`` small this is nearly ``d²`` — the paper's almost-quadratic
+    improvement in the ε-dependence over NN14's ``ε²d²``.
+    """
+    d = check_positive_int(d, "d")
+    epsilon = check_epsilon(epsilon)
+    delta = check_probability(delta, "delta")
+    log_term = math.log(1.0 / epsilon)
+    if log_term <= 0:
+        return 0.0
+    return c0 * epsilon ** (k1 * delta) * d * d / log_term**4
+
+
+def theorem18_n(d: int, epsilon: float, delta: float,
+                constant: float = 4.0) -> int:
+    """The ambient dimension ``n ≥ K₀ d²/(ε²δ)`` Theorem 18 requires."""
+    d = check_positive_int(d, "d")
+    epsilon = check_epsilon(epsilon)
+    delta = check_probability(delta, "delta")
+    return max(d, math.ceil(constant * d * d / (epsilon**2 * delta)))
+
+
+def theorem20_lower_bound(d: int, s: int, delta: float,
+                          k1: float = 1.0) -> float:
+    """Theorem 20 trade-off: ``m = Ω(log⁻⁴(s) · s^{-K₁δ} · d²)``."""
+    d = check_positive_int(d, "d")
+    s = check_positive_int(s, "s")
+    delta = check_probability(delta, "delta")
+    log_term = max(math.log(s), 1.0)
+    return s ** (-k1 * delta) * d * d / log_term**4
+
+
+def nn13b_lower_bound(d: int, constant: float = 1.0) -> float:
+    """Nelson–Nguyễn 2013 (STOC): ``s = 1`` needs ``m = Ω(d²)``."""
+    d = check_positive_int(d, "d")
+    return constant * d * d
+
+
+def nn14_sparse_lower_bound(d: int, epsilon: float,
+                            constant: float = 1.0) -> float:
+    """Nelson–Nguyễn 2014 (ICALP): ``s ≤ α/ε`` needs ``m = Ω(ε²d²)``."""
+    d = check_positive_int(d, "d")
+    epsilon = check_epsilon(epsilon)
+    return constant * epsilon**2 * d * d
+
+
+def dense_lower_bound(d: int, epsilon: float, delta: float,
+                      constant: float = 1.0) -> float:
+    """General OSE bound ``m = Ω((d + log(1/δ))/ε²)`` (no sparsity limit)."""
+    d = check_positive_int(d, "d")
+    epsilon = check_epsilon(epsilon)
+    delta = check_probability(delta, "delta")
+    return constant * (d + math.log(1.0 / delta)) / epsilon**2
+
+
+def max_sparsity_for_quadratic(epsilon: float) -> int:
+    """The paper's sparsity constraint ``s ≤ 1/(9ε)`` (floor, ≥ 1)."""
+    epsilon = check_epsilon(epsilon)
+    return max(1, int(math.floor(1.0 / (9.0 * epsilon))))
+
+
+def quadratic_regime_threshold(epsilon: float, delta: float,
+                               k1: float = 1.0) -> Dict[str, float]:
+    """Minimum ``d`` at which each quadratic bound beats ``d/ε²``.
+
+    The ``Ω(ε²d²)`` bound of NN14 beats the dense ``d/ε²`` floor only when
+    ``d ≥ 1/ε⁴``; the paper's ``ε^{K₁δ}d²`` bound already at
+    ``d ≥ 1/ε^{2+K₁δ}`` (log factors dropped).  Returns both thresholds.
+    """
+    epsilon = check_epsilon(epsilon)
+    delta = check_probability(delta, "delta")
+    return {
+        "nn14": epsilon**-4.0,
+        "theorem18": epsilon ** -(2.0 + k1 * delta),
+    }
+
+
+@dataclass(frozen=True)
+class BoundComparison:
+    """All lower bounds evaluated at one parameter point.
+
+    ``bounds`` maps bound name → value; ``dominant`` is the largest
+    applicable one.
+    """
+
+    d: int
+    epsilon: float
+    delta: float
+    s: int
+    bounds: Dict[str, float]
+    dominant: str
+
+    def __str__(self) -> str:
+        rows = ", ".join(f"{k}={v:.3g}" for k, v in self.bounds.items())
+        return (
+            f"d={self.d}, eps={self.epsilon:g}, delta={self.delta:g}, "
+            f"s={self.s}: {rows} -> {self.dominant}"
+        )
+
+
+def compare_lower_bounds(d: int, epsilon: float, delta: float,
+                         s: int, k1: float = 1.0) -> BoundComparison:
+    """Evaluate every applicable lower bound at ``(d, ε, δ, s)``.
+
+    A bound is applicable when its sparsity precondition holds
+    (``s = 1`` for Theorem 8 / NN13b; ``s ≤ 1/(9ε)`` for Theorems 18/20
+    and NN14; always for the dense bound).  Used by the E12 regime map.
+    """
+    d = check_positive_int(d, "d")
+    s = check_positive_int(s, "s")
+    bounds: Dict[str, float] = {
+        "dense": dense_lower_bound(d, epsilon, delta),
+    }
+    if s == 1:
+        # NN13b's Omega(d^2) needs no epsilon precondition; Theorem 8
+        # additionally requires eps < 1/8.
+        bounds["nn13b"] = nn13b_lower_bound(d)
+        if epsilon < 1.0 / 8.0:
+            bounds["theorem8"] = theorem8_lower_bound(d, epsilon, delta)
+    # Unclamped applicability test: the sparse theorems require
+    # s <= 1/(9 eps) exactly (at eps >= 1/9 no s qualifies).
+    if s <= 1.0 / (9.0 * epsilon):
+        bounds["nn14"] = nn14_sparse_lower_bound(d, epsilon)
+        bounds["theorem18"] = theorem18_lower_bound(d, epsilon, delta, k1=k1)
+        bounds["theorem20"] = theorem20_lower_bound(d, s, delta, k1=k1)
+    dominant = max(bounds, key=bounds.get)
+    return BoundComparison(
+        d=d, epsilon=epsilon, delta=delta, s=s,
+        bounds=bounds, dominant=dominant,
+    )

@@ -1,0 +1,290 @@
+"""End-to-end lower-bound certification of a concrete sketching matrix.
+
+Given one *fixed* matrix ``Π`` (the deterministic object of Yao's minimax
+principle), a hard instance distribution, and ``(ε, δ)``, decide whether
+``Π`` can be an ``(ε, δ)``-subspace-embedding for the instance and, when it
+cannot, produce evidence:
+
+* the measured failure probability over the instance (with CI), and
+* an explicit Lemma 4 witness — a colliding column pair of ``ΠV`` with a
+  large inner product plus the unit vector whose sketched norm
+  anti-concentrates — extracted from a failing draw.
+
+Three strategies are available, matching the DESIGN.md ablation:
+
+* ``"svd"`` — exact distortion through singular values (the ground truth);
+* ``"witness"`` — only the Lemma 4 construction (sound but incomplete:
+  it can miss failures the SVD sees);
+* ``"algorithm1"`` — drive the pair search with the paper's Algorithm 1
+  before invoking Lemma 4 (the proof's actual pipeline).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..hardinstances.dbeta import HardDraw, HardInstance
+from ..linalg.distortion import distortion_of_product
+from ..utils.rng import RngLike, as_generator, spawn
+from ..utils.stats import BernoulliEstimate
+from ..utils.validation import check_epsilon, check_positive_int, check_probability
+from .algorithm1 import run_algorithm1, run_algorithm2
+from .bounds import delta_prime as default_delta_prime
+from .heavy import good_columns
+from .lemmas import KAPPA
+from .witness import WitnessReport, escape_probability, lemma4_witness, witness_vector
+
+__all__ = [
+    "Certificate",
+    "certify",
+    "witness_from_algorithm1",
+    "witness_from_algorithm2",
+]
+
+MatrixLike = Union[np.ndarray, sp.spmatrix]
+
+_STRATEGIES = ("svd", "witness", "algorithm1")
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """Verdict on one concrete ``Π`` against one instance.
+
+    Attributes
+    ----------
+    failure:
+        Estimated ``P_U[Π fails to ε-embed U]``.
+    delta:
+        The failure budget ``δ`` the verdict is judged against.
+    refuted:
+        True when the lower confidence limit of ``failure`` exceeds ``δ``
+        — ``Π`` is certifiably not an ``(ε, δ)``-embedding for the
+        instance.
+    witness:
+        A Lemma 4 witness from some failing draw, when one was found.
+    strategy:
+        Which detection strategy produced ``failure``.
+    """
+
+    failure: BernoulliEstimate
+    delta: float
+    refuted: bool
+    witness: Optional[WitnessReport]
+    strategy: str
+
+    def __str__(self) -> str:
+        verdict = "REFUTED" if self.refuted else "not refuted"
+        tail = ""
+        if self.witness is not None:
+            tail = (
+                f"; witness pair ({self.witness.p}, {self.witness.q}) with "
+                f"inner product {self.witness.inner_product:.4f}"
+            )
+        return (
+            f"{verdict} at delta={self.delta:g} "
+            f"(failure {self.failure}, strategy={self.strategy}){tail}"
+        )
+
+
+def witness_from_algorithm1(pi: MatrixLike, draw: HardDraw, epsilon: float,
+                            trials: int = 2048,
+                            rng: RngLike = None) -> Optional[WitnessReport]:
+    """Run Algorithm 1 on a draw and convert its best pair into a witness.
+
+    The paper's pipeline: find disjoint colliding good-column pairs of
+    ``Π`` among the columns chosen by ``V``; for a pair with inner product
+    at least ``(8-κ)ε/β`` invoke Lemma 4.  Returns ``None`` when no output
+    pair reaches the threshold.
+    """
+    epsilon = check_epsilon(epsilon)
+    gen = as_generator(rng)
+    theta = math.sqrt(8.0 * epsilon)
+    min_heavy = max(1, int(1.0 / (16.0 * epsilon)))
+    good = good_columns(pi, epsilon, theta, min_heavy)
+    if good.size == 0:
+        return None
+    good_set = set(int(c) for c in good)
+    chosen_positions = [
+        j for j, c in enumerate(draw.rows) if int(c) in good_set
+    ]
+    if len(chosen_positions) < 2:
+        return None
+    chosen_cols = draw.rows[chosen_positions]
+    result = run_algorithm1(
+        pi, chosen_cols, good, epsilon, d=draw.d, rng=spawn(gen)
+    )
+    if not result.pairs:
+        return None
+    # Map output column pairs back to V-column indices and test Lemma 4's
+    # threshold (λ = 8 − κ > 2) on the strongest pair.
+    threshold = (8.0 - KAPPA) * epsilon * draw.reps
+    dense = pi.tocsc() if sp.issparse(pi) else np.asarray(pi, dtype=float)
+    col_to_vpos = {}
+    for j, c in enumerate(draw.rows):
+        col_to_vpos.setdefault(int(c), j)
+    best = None
+    for ci, cj in result.pairs:
+        if sp.issparse(dense):
+            a = np.asarray(dense[:, ci].todense()).ravel()
+            b = np.asarray(dense[:, cj].todense()).ravel()
+        else:
+            a = dense[:, ci]
+            b = dense[:, cj]
+        value = float(a @ b)
+        if best is None or abs(value) > abs(best[2]):
+            best = (ci, cj, value)
+    if best is None or abs(best[2]) < threshold:
+        return None
+    ci, cj, value = best
+    p, q = col_to_vpos[ci], col_to_vpos[cj]
+    u = witness_vector(p, q, draw.reps, draw.d)
+    escape = escape_probability(
+        pi, draw, p, q, epsilon, trials=trials, rng=spawn(gen)
+    )
+    return WitnessReport(
+        p=p, q=q, inner_product=value, threshold=threshold, u=u,
+        escape=escape,
+    )
+
+
+def witness_from_algorithm2(pi: MatrixLike, draw: HardDraw, epsilon: float,
+                            level: int, level_prime: int,
+                            dprime: Optional[float] = None,
+                            trials: int = 2048,
+                            rng: RngLike = None) -> Optional[WitnessReport]:
+    """Section 5 pipeline: Algorithm 2 at dyadic level ``ℓ`` + Lemma 4.
+
+    The draw should come from ``D_{2^{-ℓ'}}`` (``reps = 2^{ℓ'}``); column
+    collisions are measured at heavy threshold ``√(2^{-ℓ})`` and a pair
+    with inner product at least ``2^{-ℓ} − κε`` is converted into a
+    Lemma 4 witness, provided the pair's inner product also clears the
+    lemma's ``λε/β`` hypothesis with ``λ > 2``.  ``dprime`` defaults to
+    the paper's ``δ' = log log(1/ε^{72}) / log(1/ε)``.
+    """
+    epsilon = check_epsilon(epsilon)
+    if level < 0 or level_prime < 0:
+        raise ValueError("levels must be nonnegative")
+    if draw.reps != 2**level_prime:
+        raise ValueError(
+            f"draw has reps={draw.reps} but level_prime={level_prime} "
+            f"requires reps={2**level_prime}"
+        )
+    if dprime is None:
+        dprime = default_delta_prime(epsilon)
+    gen = as_generator(rng)
+    theta = math.sqrt(2.0 ** (-level))
+    min_heavy = max(1, int(epsilon**dprime * 2**level / 3.0))
+    good = good_columns(pi, epsilon, theta, min_heavy)
+    if good.size == 0:
+        return None
+    good_set = set(int(c) for c in good)
+    chosen_positions = [
+        j for j, c in enumerate(draw.rows) if int(c) in good_set
+    ]
+    if len(chosen_positions) < 2:
+        return None
+    chosen_cols = draw.rows[chosen_positions]
+    result = run_algorithm2(
+        pi, chosen_cols, good, epsilon, d=draw.d, level=level,
+        level_prime=level_prime, delta_prime=dprime, rng=spawn(gen),
+    )
+    if not result.pairs:
+        return None
+    # Lemma 4's hypothesis with beta = 2^{-l'}: need lam*eps/beta with
+    # lam > 2; the Section 5 chain guarantees inner products of size
+    # ~2^{-l} >= 8 eps * 2^{l'} = (8 eps)/beta on successful pairs.
+    threshold = max(2.0 ** (-level) - KAPPA * epsilon,
+                    2.5 * epsilon * draw.reps)
+    dense = pi.tocsc() if sp.issparse(pi) else np.asarray(pi, dtype=float)
+    col_to_vpos = {}
+    for j, c in enumerate(draw.rows):
+        col_to_vpos.setdefault(int(c), j)
+    best = None
+    for ci, cj in result.pairs:
+        if sp.issparse(dense):
+            a = np.asarray(dense[:, ci].todense()).ravel()
+            b = np.asarray(dense[:, cj].todense()).ravel()
+        else:
+            a = dense[:, ci]
+            b = dense[:, cj]
+        value = float(a @ b)
+        if best is None or abs(value) > abs(best[2]):
+            best = (ci, cj, value)
+    if best is None or abs(best[2]) < threshold:
+        return None
+    ci, cj, value = best
+    p, q = col_to_vpos[ci], col_to_vpos[cj]
+    u = witness_vector(p, q, draw.reps, draw.d)
+    escape = escape_probability(
+        pi, draw, p, q, epsilon, trials=trials, rng=spawn(gen)
+    )
+    return WitnessReport(
+        p=p, q=q, inner_product=value, threshold=threshold, u=u,
+        escape=escape,
+    )
+
+
+def certify(pi: MatrixLike, instance: HardInstance, epsilon: float,
+            delta: float, trials: int = 200, strategy: str = "svd",
+            witness_trials: int = 2048,
+            rng: RngLike = None) -> Certificate:
+    """Certify (or fail to certify) that ``Π`` is not an ``(ε, δ)``-OSE.
+
+    Draws ``trials`` subspaces from ``instance`` and counts failures
+    according to ``strategy``; also extracts one Lemma 4 witness from the
+    failing draws when possible (regardless of strategy, so the SVD path
+    still produces interpretable evidence).
+    """
+    epsilon = check_epsilon(epsilon)
+    delta = check_probability(delta, "delta")
+    trials = check_positive_int(trials, "trials")
+    if strategy not in _STRATEGIES:
+        raise ValueError(
+            f"strategy must be one of {_STRATEGIES}, got {strategy!r}"
+        )
+    if pi.shape[1] != instance.n:
+        raise ValueError(
+            f"Pi has ambient dimension {pi.shape[1]} but instance has "
+            f"{instance.n}"
+        )
+    gen = as_generator(rng)
+    failures = 0
+    witness: Optional[WitnessReport] = None
+    for _ in range(trials):
+        draw = instance.sample_draw(spawn(gen))
+        failed = False
+        if strategy == "svd":
+            failed = distortion_of_product(draw.sketched_basis(pi)) > epsilon
+        elif strategy == "witness":
+            report = lemma4_witness(
+                pi, draw, epsilon, trials=witness_trials, rng=spawn(gen)
+            )
+            failed = report is not None and report.escape.point >= 0.25
+            if failed and witness is None:
+                witness = report
+        else:  # algorithm1
+            report = witness_from_algorithm1(
+                pi, draw, epsilon, trials=witness_trials, rng=spawn(gen)
+            )
+            failed = report is not None and report.escape.point >= 0.25
+            if failed and witness is None:
+                witness = report
+        if failed:
+            failures += 1
+            if witness is None and strategy == "svd":
+                witness = lemma4_witness(
+                    pi, draw, epsilon, trials=witness_trials, rng=spawn(gen)
+                )
+    failure = BernoulliEstimate(failures, trials)
+    return Certificate(
+        failure=failure,
+        delta=delta,
+        refuted=failure.low > delta,
+        witness=witness,
+        strategy=strategy,
+    )

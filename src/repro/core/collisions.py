@@ -1,0 +1,189 @@
+"""Collision structure of sketching matrices.
+
+Two columns ``i, j`` of ``Π`` *collide* (``i ↔ j``) when they share at
+least one ``θ-heavy`` row (Section 4).  For ``s = 1`` sketches, collisions
+reduce to two columns hashing into the same bucket, and the birthday
+paradox drives Theorem 8.  This module computes collision graphs, bucket
+occupancies (the ``B_i`` of Lemma 7), and the closed-form birthday
+predictions the experiments compare against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..utils.validation import check_positive_int
+from .heavy import heavy_mask
+
+__all__ = [
+    "shared_heavy_rows",
+    "collide",
+    "collision_count_matrix",
+    "colliding_pairs",
+    "bucket_counts",
+    "has_bucket_collision",
+    "birthday_collision_probability",
+    "birthday_lower_bound_m",
+    "CollisionSummary",
+    "collision_summary",
+]
+
+MatrixLike = Union[np.ndarray, sp.spmatrix]
+
+
+def shared_heavy_rows(pi: MatrixLike, i: int, j: int,
+                      theta: float) -> np.ndarray:
+    """Rows ``l`` with both ``|Π[l,i]| ≥ θ`` and ``|Π[l,j]| ≥ θ``."""
+    mask = heavy_mask(pi, theta).tocsc()
+    rows_i = mask.indices[mask.indptr[i]:mask.indptr[i + 1]]
+    rows_j = mask.indices[mask.indptr[j]:mask.indptr[j + 1]]
+    return np.intersect1d(rows_i, rows_j)
+
+
+def collide(pi: MatrixLike, i: int, j: int, theta: float) -> bool:
+    """The paper's ``i ↔ j`` predicate (share ≥ 1 ``θ``-heavy row)."""
+    return shared_heavy_rows(pi, i, j, theta).size > 0
+
+
+def collision_count_matrix(pi: MatrixLike, theta: float,
+                           columns: Sequence[int] = None) -> sp.csr_matrix:
+    """Matrix ``C`` with ``C[a, b]`` = number of shared ``θ``-heavy rows.
+
+    Restricted to the given ``columns`` (all columns when omitted);
+    the diagonal holds each column's own heavy count.  Computed as
+    ``HᵀH`` on the heavy mask, which is efficient while the mask is sparse.
+    """
+    mask = heavy_mask(pi, theta).tocsc().astype(np.int64)
+    if columns is not None:
+        mask = mask[:, np.asarray(columns, dtype=int)]
+    return (mask.T @ mask).tocsr()
+
+
+def colliding_pairs(pi: MatrixLike, theta: float,
+                    columns: Sequence[int] = None) -> List[Tuple[int, int]]:
+    """All unordered colliding pairs ``(a, b)``, ``a < b``.
+
+    Indices refer to positions in ``columns`` when given, else to column
+    indices of ``Π``.
+    """
+    counts = collision_count_matrix(pi, theta, columns).tocoo()
+    pairs = [
+        (int(a), int(b))
+        for a, b in zip(counts.row, counts.col)
+        if a < b
+    ]
+    return sorted(pairs)
+
+
+def bucket_counts(pi: MatrixLike, chosen_columns: Sequence[int],
+                  low: float, high: float) -> np.ndarray:
+    """The ``B_i`` of Lemma 7 for an ``s = 1`` sketch.
+
+    For each row (bucket) ``i`` of ``Π``, counts the distinct chosen
+    columns ``j`` whose single nonzero entry lies in row ``i`` with
+    absolute value in ``[low, high]``.  Chosen columns with no qualifying
+    entry contribute nowhere.
+    """
+    chosen = np.asarray(chosen_columns, dtype=int)
+    m = pi.shape[0]
+    counts = np.zeros(m, dtype=int)
+    csc = pi.tocsc() if sp.issparse(pi) else sp.csc_matrix(
+        np.asarray(pi, dtype=float)
+    )
+    for col in chosen:
+        start, end = csc.indptr[col], csc.indptr[col + 1]
+        rows = csc.indices[start:end]
+        values = np.abs(csc.data[start:end])
+        ok = (values >= low) & (values <= high)
+        for row in rows[ok]:
+            counts[row] += 1
+    return counts
+
+
+def has_bucket_collision(pi: MatrixLike, chosen_columns: Sequence[int],
+                         low: float, high: float) -> bool:
+    """True when some bucket holds ≥ 2 chosen columns (``B_i > 1``)."""
+    return bool(np.any(bucket_counts(pi, chosen_columns, low, high) > 1))
+
+
+def birthday_collision_probability(q: int, m: int) -> float:
+    """Exact probability that ``q`` uniform throws into ``m`` buckets
+    collide.
+
+    ``1 - ∏_{i=1}^{q-1} (1 - i/m)``; the folklore bound behind Theorem 8's
+    final counting step.
+    """
+    q = check_positive_int(q, "q")
+    m = check_positive_int(m, "m")
+    if q > m:
+        return 1.0
+    log_no_collision = 0.0
+    for i in range(1, q):
+        log_no_collision += math.log1p(-i / m)
+    return 1.0 - math.exp(log_no_collision)
+
+
+def birthday_lower_bound_m(q: int, delta: float) -> float:
+    """Smallest ``m`` for which ``q`` throws avoid collision w.p. ≥ 1-δ.
+
+    From ``P[collision] ≈ 1 - e^{-q(q-1)/(2m)} ≤ δ`` one needs
+    ``m ≥ q(q-1) / (2 ln(1/(1-δ)))`` — the ``m = Ω(q²/δ)`` shape quoted in
+    the paper (with ``q = d/(16ε)`` giving ``Ω(d²/(ε²δ))``).
+    """
+    q = check_positive_int(q, "q")
+    if not (0 < delta < 1):
+        raise ValueError(f"delta must lie in (0, 1), got {delta}")
+    if q == 1:
+        return 1.0
+    return q * (q - 1) / (2.0 * math.log(1.0 / (1.0 - delta)))
+
+
+@dataclass(frozen=True)
+class CollisionSummary:
+    """Aggregate collision statistics of a set of columns of ``Π``.
+
+    Attributes
+    ----------
+    columns:
+        Number of columns examined.
+    colliding_pairs:
+        Number of unordered colliding pairs among them.
+    max_shared_rows:
+        Largest number of heavy rows shared by any pair.
+    mean_shared_rows:
+        Mean shared heavy rows over *colliding* pairs (the paper's ``Δ``),
+        0.0 when there are none.
+    """
+
+    columns: int
+    colliding_pairs: int
+    max_shared_rows: int
+    mean_shared_rows: float
+
+
+def collision_summary(pi: MatrixLike, theta: float,
+                      columns: Sequence[int] = None) -> CollisionSummary:
+    """Summarize the collision structure (the ``Δ`` statistics of
+    Section 4.1)."""
+    counts = collision_count_matrix(pi, theta, columns).tocoo()
+    shared = [
+        int(v) for a, b, v in zip(counts.row, counts.col, counts.data)
+        if a < b and v > 0
+    ]
+    num_columns = counts.shape[0]
+    if shared:
+        return CollisionSummary(
+            columns=num_columns,
+            colliding_pairs=len(shared),
+            max_shared_rows=max(shared),
+            mean_shared_rows=float(np.mean(shared)),
+        )
+    return CollisionSummary(
+        columns=num_columns, colliding_pairs=0,
+        max_shared_rows=0, mean_shared_rows=0.0,
+    )

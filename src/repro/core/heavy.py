@@ -1,0 +1,184 @@
+"""Heavy-entry statistics of sketching matrices.
+
+The paper calls an entry ``θ-heavy`` when its absolute value is at least
+``θ`` (Section 4), and its arguments revolve around how many heavy entries
+the columns of ``Π`` can carry:
+
+* Lemma 6 — for ``s = 1`` almost every column must have norm ``1 ± ε``;
+* the "abundance assumption" of Theorem 9 — the average number of
+  ``√(8ε)``-heavy entries is at least ``1/(12ε)``;
+* Lemma 19 — for every dyadic level ``ℓ``, the average number of
+  ``√(2^{-ℓ})``-heavy entries of a valid embedding is at most
+  ``ε^{δ'} 2^ℓ`` (otherwise the ℓ₂ mass budget is blown).
+
+This module computes all of those statistics for concrete matrices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..linalg.gram import column_norms
+from ..utils.validation import check_epsilon
+
+__all__ = [
+    "heavy_mask",
+    "heavy_counts_per_column",
+    "average_heavy_count",
+    "good_columns",
+    "HeavyProfile",
+    "heavy_budget_profile",
+    "column_mass_check",
+]
+
+MatrixLike = Union[np.ndarray, sp.spmatrix]
+
+
+def heavy_mask(a: MatrixLike, theta: float) -> sp.csc_matrix:
+    """Boolean CSC mask of the ``θ-heavy`` entries of ``a``.
+
+    Entry ``(l, i)`` is True iff ``|a[l, i]| ≥ θ``, with a one-ulp-scale
+    relative tolerance so that entries sitting exactly on the threshold
+    (e.g. ``1/√2`` vs ``√(1/2)``) count as heavy regardless of rounding.
+    """
+    if theta <= 0:
+        raise ValueError(f"theta must be positive, got {theta}")
+    theta = theta * (1.0 - 1e-12)
+    if sp.issparse(a):
+        a_csc = a.tocsc()
+        # Copy the index structure: eliminate_zeros() mutates it in place
+        # and tocsc() may alias the caller's matrix.
+        mask = sp.csc_matrix(
+            (np.abs(a_csc.data) >= theta, a_csc.indices.copy(),
+             a_csc.indptr.copy()),
+            shape=a_csc.shape,
+        )
+        mask.eliminate_zeros()
+        return mask
+    dense_mask = np.abs(np.asarray(a, dtype=float)) >= theta
+    return sp.csc_matrix(dense_mask)
+
+
+def heavy_counts_per_column(a: MatrixLike, theta: float) -> np.ndarray:
+    """Number of ``θ-heavy`` entries in each column."""
+    mask = heavy_mask(a, theta)
+    return np.diff(mask.indptr).astype(int)
+
+
+def average_heavy_count(a: MatrixLike, theta: float) -> float:
+    """Average number of ``θ-heavy`` entries over the columns.
+
+    This is the paper's ``E_j[|{i : |A_{i,j}| ≥ θ}|]`` for
+    ``j ~ Unif([n])`` — the quantity constrained by the abundance
+    assumption (≥ ``1/(12ε)``) and by Lemma 19 (≤ ``ε^{δ'} 2^ℓ``).
+    """
+    counts = heavy_counts_per_column(a, theta)
+    return float(counts.mean()) if counts.size else 0.0
+
+
+def good_columns(pi: MatrixLike, epsilon: float, theta: float,
+                 min_heavy: int) -> np.ndarray:
+    """Indices of the paper's *good* columns.
+
+    Section 4: a column is good when it has at least ``min_heavy``
+    ``θ-heavy`` entries **and** its ℓ₂-norm is ``1 ± ε``.  The paper uses
+    ``θ = √(8ε)`` and ``min_heavy = 1/(16ε)`` in Section 4, and
+    ``θ = √(2^{-ℓ})`` with ``min_heavy = ε^{δ'} 2^ℓ / 3`` in Section 5.
+    """
+    epsilon = check_epsilon(epsilon)
+    norms = column_norms(pi)
+    counts = heavy_counts_per_column(pi, theta)
+    norm_ok = (norms >= 1.0 - epsilon) & (norms <= 1.0 + epsilon)
+    return np.flatnonzero(norm_ok & (counts >= min_heavy))
+
+
+@dataclass(frozen=True)
+class HeavyProfile:
+    """Per-dyadic-level heavy-entry statistics of a matrix (Lemma 19 view).
+
+    Attributes
+    ----------
+    levels:
+        The dyadic levels ``ℓ = 0, 1, …, L``.
+    thresholds:
+        ``θ_ℓ = √(2^{-ℓ})`` for each level.
+    averages:
+        Average per-column count of ``θ_ℓ``-heavy entries.
+    budgets:
+        The Lemma 19 budget ``ε^{δ'} 2^ℓ`` for each level (what a valid
+        embedding must respect).
+    """
+
+    levels: np.ndarray
+    thresholds: np.ndarray
+    averages: np.ndarray
+    budgets: np.ndarray
+
+    def violations(self) -> np.ndarray:
+        """Levels at which the average exceeds the budget."""
+        return self.levels[self.averages > self.budgets]
+
+    def mass_upper_bound(self) -> float:
+        """Upper bound on the average squared column norm implied by the
+        profile.
+
+        Entries with absolute value in ``[θ_{ℓ}, θ_{ℓ-1})`` contribute at
+        most ``θ_{ℓ-1}² = 2^{-(ℓ-1)}`` each; entries below the lightest
+        threshold contribute at most ``θ_L²`` times the column sparsity and
+        are ignored here (the caller adds the ``s·(8ε)`` term as in
+        Section 5).  The bound is ``Σ_ℓ avg_ℓ · 2^{-ℓ+1}`` with a telescoping
+        correction; we use the simple, conservative form
+        ``Σ_ℓ (avg_ℓ - avg_{ℓ-1})⁺ · 2^{-ℓ+1}`` where ``avg_{-1} = 0``.
+        """
+        bound = 0.0
+        previous = 0.0
+        for level, avg in zip(self.levels, self.averages):
+            marginal = max(0.0, float(avg) - previous)
+            # Entries heavy at level ℓ but not at ℓ-1 have magnitude
+            # < √(2^{-(ℓ-1)}), i.e. squared value < 2^{-ℓ+1}.
+            bound += marginal * 2.0 ** (-int(level) + 1)
+            previous = max(previous, float(avg))
+        return bound
+
+
+def heavy_budget_profile(pi: MatrixLike, epsilon: float,
+                         delta_prime: float = None) -> HeavyProfile:
+    """Compute the Lemma 19 heavy-entry profile of ``Π``.
+
+    ``δ'`` defaults to the paper's ``log log(1/ε^72) / log(1/ε)``.
+    Levels run over ``ℓ = 0, …, L`` with ``L = log₂(1/ε) − 3`` (at least
+    0).
+    """
+    epsilon = check_epsilon(epsilon)
+    if delta_prime is None:
+        delta_prime = (
+            math.log(math.log(1.0 / epsilon**72))
+            / math.log(1.0 / epsilon)
+        )
+    level_top = max(0, int(math.floor(math.log2(1.0 / epsilon))) - 3)
+    levels = np.arange(0, level_top + 1)
+    thresholds = np.sqrt(2.0 ** (-levels.astype(float)))
+    averages = np.array([
+        average_heavy_count(pi, float(theta)) for theta in thresholds
+    ])
+    budgets = epsilon**delta_prime * 2.0 ** levels.astype(float)
+    return HeavyProfile(levels=levels, thresholds=thresholds,
+                        averages=averages, budgets=budgets)
+
+
+def column_mass_check(pi: MatrixLike, epsilon: float,
+                      sparsity: int) -> float:
+    """Section 5's ℓ₂-mass accounting: bound on the average squared norm.
+
+    Returns ``profile.mass_upper_bound() + sparsity · 8ε`` — the quantity
+    the paper shows is ``< (1-ε)²`` when every Lemma 19 budget holds,
+    contradicting Lemma 6.  Callers compare the result against
+    ``(1-ε)²``.
+    """
+    profile = heavy_budget_profile(pi, epsilon)
+    return profile.mass_upper_bound() + sparsity * 8.0 * epsilon

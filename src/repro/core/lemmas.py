@@ -1,0 +1,174 @@
+"""Executable versions of the paper's quantitative lemmas.
+
+Each function evaluates a lemma's conclusion *exactly* on concrete inputs
+(finite probability spaces are enumerated, not sampled), so the test suite
+and experiment E5/E6 can check the proven inequalities directly:
+
+* **Lemma 3** — among i.i.d. uniform samples ``u, v`` from a finite set
+  ``S`` in the unit ball, ``P[⟨u,v⟩ ≥ -κε] > 2ε`` for ``κ = 3``,
+  ``ε ∈ (0, 1/9)``.
+* **Fact 5** — for ``|x₁| ≥ |x₂| ≥ |x₃|``, ``|x₁| ≥ a`` and independent
+  Rademacher ``σ₁, σ₂``:
+  ``P[σ₁x₁ + σ₂x₂ + σ₁σ₂x₃ ≥ a] ≥ 1/4`` and symmetrically ``≤ -a``.
+* **Lemma 14** — if a row ``l`` of ``A`` has a nonempty ``θ``-heavy set
+  ``S`` and the columns of ``S`` have squared norm ≤ ``1 + θ²``, then for
+  independent ``u, v ~ Unif(S)``,
+  ``P[⟨A_u, A_v⟩ ≥ θ² − κε] ≥ ε/2``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..linalg.sparse_ops import densify
+from ..utils.validation import check_epsilon
+
+__all__ = [
+    "KAPPA",
+    "lemma3_probability",
+    "lemma3_holds",
+    "lemma3_bound",
+    "fact5_probabilities",
+    "fact5_holds",
+    "Lemma14Result",
+    "lemma14_probability",
+    "lemma14_holds",
+]
+
+#: The paper's constant κ from Lemma 3.
+KAPPA = 3.0
+
+
+def _as_vector_set(vectors: Union[np.ndarray, Sequence]) -> np.ndarray:
+    arr = np.asarray(vectors, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] == 0:
+        raise ValueError(
+            "vectors must be a nonempty 2-d array (one vector per row)"
+        )
+    return arr
+
+
+def lemma3_probability(vectors: np.ndarray, epsilon: float,
+                       kappa: float = KAPPA) -> float:
+    """Exact ``P[⟨u,v⟩ ≥ -κε]`` for ``u, v`` i.i.d. uniform over rows.
+
+    Sampling is *with replacement* (independent samples), exactly as in
+    Lemma 3, so the diagonal pairs ``u = v`` are included.
+    """
+    arr = _as_vector_set(vectors)
+    epsilon = check_epsilon(epsilon, upper=1.0 / 9.0)
+    norms = np.linalg.norm(arr, axis=1)
+    if np.any(norms > 1.0 + 1e-9):
+        raise ValueError("Lemma 3 requires all vectors in the unit ball")
+    gram = arr @ arr.T
+    return float(np.mean(gram >= -kappa * epsilon))
+
+
+def lemma3_holds(vectors: np.ndarray, epsilon: float,
+                 kappa: float = KAPPA) -> bool:
+    """Check Lemma 3's conclusion ``P[⟨u,v⟩ ≥ -κε] > 2ε`` on ``vectors``."""
+    return lemma3_probability(vectors, epsilon, kappa) > 2.0 * epsilon
+
+
+def lemma3_bound(epsilon: float) -> float:
+    """The guaranteed probability level ``2ε`` from Lemma 3."""
+    epsilon = check_epsilon(epsilon, upper=1.0 / 9.0)
+    return 2.0 * epsilon
+
+
+def fact5_probabilities(x1: float, x2: float, x3: float,
+                        a: float) -> Tuple[float, float]:
+    """Exact two-sided probabilities of Fact 5.
+
+    Enumerates the four sign assignments of ``(σ₁, σ₂)`` and returns
+    ``(P[σ₁x₁ + σ₂x₂ + σ₁σ₂x₃ ≥ a], P[… ≤ -a])``.  Input ordering and the
+    ``|x₁| ≥ a`` premise are validated — Fact 5 only claims the bound under
+    those hypotheses.
+    """
+    if not (abs(x1) >= abs(x2) >= abs(x3)):
+        raise ValueError(
+            "Fact 5 requires |x1| >= |x2| >= |x3|; got "
+            f"({x1}, {x2}, {x3})"
+        )
+    if a < 0:
+        raise ValueError(f"a must be nonnegative, got {a}")
+    if abs(x1) < a:
+        raise ValueError(f"Fact 5 requires |x1| >= a; got |x1|={abs(x1)}, a={a}")
+    values = [
+        s1 * x1 + s2 * x2 + s1 * s2 * x3
+        for s1, s2 in itertools.product((-1.0, 1.0), repeat=2)
+    ]
+    upper = sum(1 for v in values if v >= a) / 4.0
+    lower = sum(1 for v in values if v <= -a) / 4.0
+    return upper, lower
+
+
+def fact5_holds(x1: float, x2: float, x3: float, a: float) -> bool:
+    """True when both Fact 5 bounds (each ≥ 1/4) hold."""
+    upper, lower = fact5_probabilities(x1, x2, x3, a)
+    return upper >= 0.25 and lower >= 0.25
+
+
+@dataclass(frozen=True)
+class Lemma14Result:
+    """Outcome of evaluating Lemma 14 on a concrete matrix and row.
+
+    Attributes
+    ----------
+    probability:
+        Exact ``P[⟨A_u, A_v⟩ ≥ θ² − κε]`` for ``u, v`` i.i.d. uniform over
+        the heavy set ``S`` of the chosen row.
+    bound:
+        The guaranteed level ``ε/2``.
+    heavy_set_size:
+        ``|S|``.
+    """
+
+    probability: float
+    bound: float
+    heavy_set_size: int
+
+    @property
+    def holds(self) -> bool:
+        return self.probability >= self.bound
+
+
+def lemma14_probability(a: Union[np.ndarray, sp.spmatrix], row: int,
+                        theta: float, epsilon: float,
+                        kappa: float = KAPPA) -> Lemma14Result:
+    """Evaluate Lemma 14 for matrix ``a`` at row ``row`` and threshold ``θ``.
+
+    Validates the premises (nonempty heavy set; squared column norms of
+    heavy columns ≤ ``1 + θ²``) and computes the exact pair probability.
+    """
+    epsilon = check_epsilon(epsilon, upper=1.0 / 9.0)
+    dense = densify(a)
+    if not (0 <= row < dense.shape[0]):
+        raise IndexError(f"row {row} out of range for {dense.shape[0]} rows")
+    heavy = np.flatnonzero(np.abs(dense[row]) >= theta)
+    if heavy.size == 0:
+        raise ValueError(f"row {row} has no {theta}-heavy entries")
+    sub = dense[:, heavy]
+    sq_norms = np.sum(sub * sub, axis=0)
+    if np.any(sq_norms > 1.0 + theta * theta + 1e-9):
+        raise ValueError(
+            "Lemma 14 requires heavy columns with squared norm <= 1 + theta^2"
+        )
+    gram = sub.T @ sub
+    probability = float(np.mean(gram >= theta * theta - kappa * epsilon))
+    return Lemma14Result(
+        probability=probability,
+        bound=epsilon / 2.0,
+        heavy_set_size=int(heavy.size),
+    )
+
+
+def lemma14_holds(a: Union[np.ndarray, sp.spmatrix], row: int, theta: float,
+                  epsilon: float, kappa: float = KAPPA) -> bool:
+    """Check Lemma 14's conclusion on concrete inputs."""
+    return lemma14_probability(a, row, theta, epsilon, kappa).holds

@@ -1,0 +1,91 @@
+"""NN13b's rank argument (footnote 1 of the paper).
+
+Nelson–Nguyễn's original `m = Ω(d²)` proof for ``s = 1`` observes that a
+collision makes ``rank(ΠU) < d``: two columns of ``U`` hashed into the
+same bucket become collinear after sketching, so some direction of the
+subspace is annihilated entirely (distortion 1).  The paper's footnote
+notes this argument "seems difficult to apply to more complicated hard
+instances", which is why Li–Liu develop the interval/anti-concentration
+machinery instead.
+
+This module implements the rank test so the two arguments can be compared
+on concrete draws (the E4 ablation): for ``s = 1`` and ``β = 1`` every
+collision is a rank drop, but already for ``reps > 1`` (or ``s > 1``) a
+collision usually perturbs norms *without* killing a direction — the
+interval test still fires while the rank test goes blind, which is the
+footnote's point made computational.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..hardinstances.dbeta import HardDraw
+from ..utils.validation import check_epsilon
+
+__all__ = ["RankCertificate", "rank_certificate"]
+
+MatrixLike = Union[np.ndarray, sp.spmatrix]
+
+
+@dataclass(frozen=True)
+class RankCertificate:
+    """Outcome of the NN13b rank test on one draw.
+
+    Attributes
+    ----------
+    rank:
+        Numerical rank of ``ΠU``.
+    d:
+        Subspace dimension (full rank means ``rank == d``).
+    rank_deficient:
+        True when a direction of the subspace is annihilated — the NN13b
+        failure certificate.
+    interval_failure:
+        True when the (strictly stronger) singular-interval test fails
+        at the given ε, i.e. some singular value of ``ΠU`` leaves
+        ``[1-ε, 1+ε]``.
+    """
+
+    rank: int
+    d: int
+    rank_deficient: bool
+    interval_failure: bool
+
+    @property
+    def detected_by_rank_only(self) -> bool:
+        """Failure visible to NN13b's argument."""
+        return self.rank_deficient
+
+    @property
+    def detected_by_interval_only(self) -> bool:
+        """Failure the interval test sees but the rank test misses."""
+        return self.interval_failure and not self.rank_deficient
+
+
+def rank_certificate(pi: MatrixLike, draw: HardDraw, epsilon: float,
+                     tol: float = 1e-9) -> RankCertificate:
+    """Run both failure tests (rank and singular interval) on one draw."""
+    epsilon = check_epsilon(epsilon)
+    product = draw.sketched_basis(pi)
+    sigma = np.linalg.svd(product, compute_uv=False)
+    d = draw.d
+    scale = max(float(sigma[0]), 1.0) if sigma.size else 1.0
+    rank = int(np.sum(sigma > tol * scale))
+    if product.shape[0] < d:
+        rank = min(rank, product.shape[0])
+    smallest = float(sigma[-1]) if product.shape[0] >= d else 0.0
+    largest = float(sigma[0]) if sigma.size else 0.0
+    interval_failure = (
+        smallest < 1.0 - epsilon or largest > 1.0 + epsilon
+    )
+    return RankCertificate(
+        rank=rank,
+        d=d,
+        rank_deficient=rank < d,
+        interval_failure=interval_failure,
+    )

@@ -1,0 +1,203 @@
+"""Executable Lemma 4: from a large inner product to a failing unit vector.
+
+Lemma 4 is the engine of every lower bound in the paper: if two columns
+``p, q`` of ``A = ΠV`` satisfy ``|⟨A_p, A_q⟩| ≥ λε/β`` with ``λ > 2``, then
+there is a unit vector ``u`` (an explicit two-coordinate vector) such that
+``‖AWu‖² = ‖ΠUu‖²`` escapes ``[(1-ε)², (1+ε)²]`` with probability ≥ 1/4
+over the Rademacher signs in ``W``.
+
+This module *constructs* that witness for concrete ``Π`` and hard draws,
+and measures the escape probability — exactly (enumerating the signs) when
+the relevant sign count is small, by Monte Carlo otherwise.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..hardinstances.dbeta import HardDraw
+from ..utils.rng import RngLike, as_generator
+from ..utils.stats import BernoulliEstimate
+from ..utils.validation import check_epsilon, check_positive_int
+
+__all__ = [
+    "witness_vector",
+    "escape_probability",
+    "find_large_inner_product",
+    "WitnessReport",
+    "lemma4_witness",
+]
+
+MatrixLike = Union[np.ndarray, sp.spmatrix]
+
+#: Above this many relevant signs we Monte-Carlo instead of enumerating.
+_MAX_EXACT_SIGNS = 14
+
+
+def witness_vector(p: int, q: int, reps: int, d: int) -> np.ndarray:
+    """The Lemma 4 unit vector ``u ∈ R^d`` for ``V``-columns ``p, q``.
+
+    With the block layout of Definition 2, the ``W``-column supporting
+    ``V``-column ``j`` is ``j // reps``.  Lemma 4 sets
+    ``u = (e_{p'} + e_{q'})/√2`` when the blocks differ and ``u = e_{p'}``
+    when they coincide.
+    """
+    reps = check_positive_int(reps, "reps")
+    d = check_positive_int(d, "d")
+    p_block, q_block = p // reps, q // reps
+    if not (0 <= p_block < d and 0 <= q_block < d):
+        raise ValueError(
+            f"V-columns ({p}, {q}) map outside the {d} W-columns"
+        )
+    u = np.zeros(d)
+    if p_block == q_block:
+        u[p_block] = 1.0
+    else:
+        u[p_block] = u[q_block] = 1.0 / math.sqrt(2.0)
+    return u
+
+
+def _support_columns(p: int, q: int, reps: int) -> np.ndarray:
+    """Indices of ``V``-columns appearing in ``Uu`` — the paper's set S."""
+    p_block, q_block = p // reps, q // reps
+    blocks = {p_block, q_block}
+    return np.concatenate([
+        np.arange(b * reps, (b + 1) * reps) for b in sorted(blocks)
+    ])
+
+
+def escape_probability(pi: MatrixLike, draw: HardDraw, p: int, q: int,
+                       epsilon: float, trials: int = 4096,
+                       rng: RngLike = None) -> BernoulliEstimate:
+    """Probability that ``‖ΠUu‖²`` escapes ``[(1-ε)², (1+ε)²]``.
+
+    ``u`` is the Lemma 4 witness for ``V``-columns ``p, q`` of ``draw``;
+    the probability is over fresh Rademacher signs for the ``W`` blocks
+    touching ``u`` (all other randomness of the draw is kept fixed, exactly
+    as in the lemma's conditioning).  Exact enumeration when the number of
+    relevant signs is ≤ 14, Monte Carlo with ``trials`` samples otherwise.
+    """
+    epsilon = check_epsilon(epsilon)
+    reps, d = draw.reps, draw.d
+    support = _support_columns(p, q, reps)
+    beta = 1.0 / reps
+    # ΠUu = coeff · Σ_{j ∈ support} σ_j Π_{*, C_j} with coeff √β (times
+    # 1/√2 when the two blocks differ).
+    two_blocks = (p // reps) != (q // reps)
+    coeff = math.sqrt(beta) * (1.0 / math.sqrt(2.0) if two_blocks else 1.0)
+    dense_pi = pi.tocsc() if sp.issparse(pi) else np.asarray(pi, dtype=float)
+    cols = draw.rows[support]
+    if sp.issparse(dense_pi):
+        b = np.asarray(dense_pi[:, cols].todense(), dtype=float)
+    else:
+        b = dense_pi[:, cols]
+    b = coeff * b
+    low, high = (1.0 - epsilon) ** 2, (1.0 + epsilon) ** 2
+
+    def escapes(signs: np.ndarray) -> bool:
+        value = float(np.sum((b @ signs) ** 2))
+        return not (low <= value <= high)
+
+    k = support.size
+    if k <= _MAX_EXACT_SIGNS:
+        outcomes = [
+            escapes(np.array(signs, dtype=float))
+            for signs in itertools.product((-1.0, 1.0), repeat=k)
+        ]
+        return BernoulliEstimate(sum(outcomes), len(outcomes))
+    gen = as_generator(rng)
+    trials = check_positive_int(trials, "trials")
+    successes = sum(
+        1 for _ in range(trials)
+        if escapes(gen.choice((-1.0, 1.0), size=k))
+    )
+    return BernoulliEstimate(successes, trials)
+
+
+def find_large_inner_product(pi: MatrixLike, draw: HardDraw,
+                             threshold: float) -> Optional[Tuple[int, int, float]]:
+    """Find ``V``-columns ``p ≠ q`` with ``|⟨Π_{*,C_p}, Π_{*,C_q}⟩| ≥ threshold``.
+
+    Returns ``(p, q, inner_product)`` for the pair with the largest
+    absolute inner product when one meets the threshold, else ``None``.
+    This realizes the "there exist two columns of ΠV with a large inner
+    product" step of the lower-bound proofs.
+    """
+    cols = draw.rows
+    if sp.issparse(pi):
+        a = np.asarray(pi.tocsc()[:, cols].todense(), dtype=float)
+    else:
+        a = np.asarray(pi, dtype=float)[:, cols]
+    gram = a.T @ a
+    np.fill_diagonal(gram, 0.0)
+    flat = int(np.argmax(np.abs(gram)))
+    p, q = divmod(flat, gram.shape[1])
+    value = float(gram[p, q])
+    if abs(value) >= threshold:
+        return int(p), int(q), value
+    return None
+
+
+@dataclass(frozen=True)
+class WitnessReport:
+    """A complete Lemma 4 witness against a sketch ``Π`` and a draw.
+
+    Attributes
+    ----------
+    p, q:
+        The ``V``-column indices with the large inner product.
+    inner_product:
+        ``⟨Π_{*,C_p}, Π_{*,C_q}⟩``.
+    threshold:
+        The inner-product threshold that was required (``λε/β``).
+    u:
+        The explicit unit witness vector in ``R^d``.
+    escape:
+        Measured probability that ``‖ΠUu‖²`` leaves the allowed interval.
+    """
+
+    p: int
+    q: int
+    inner_product: float
+    threshold: float
+    u: np.ndarray
+    escape: BernoulliEstimate
+
+    @property
+    def meets_lemma4_bound(self) -> bool:
+        """True when the measured escape probability is ≥ 1/4 (within CI)."""
+        return self.escape.high >= 0.25
+
+
+def lemma4_witness(pi: MatrixLike, draw: HardDraw, epsilon: float,
+                   lam: float = 5.0, trials: int = 4096,
+                   rng: RngLike = None) -> Optional[WitnessReport]:
+    """Search for a Lemma 4 witness of ``Π`` failing on ``draw``'s ``V``.
+
+    Looks for a pair of ``V``-columns with inner product at least
+    ``λε/β`` (``λ > 2`` as required by the lemma) and, when found, builds
+    the witness vector and measures its escape probability.  Returns
+    ``None`` when no pair meets the threshold — in that case Lemma 4 is
+    silent about ``Π``.
+    """
+    if lam <= 2.0:
+        raise ValueError(f"Lemma 4 requires lambda > 2, got {lam}")
+    epsilon = check_epsilon(epsilon)
+    threshold = lam * epsilon * draw.reps  # λε/β with β = 1/reps
+    found = find_large_inner_product(pi, draw, threshold)
+    if found is None:
+        return None
+    p, q, value = found
+    u = witness_vector(p, q, draw.reps, draw.d)
+    escape = escape_probability(pi, draw, p, q, epsilon, trials=trials,
+                                rng=rng)
+    return WitnessReport(
+        p=p, q=q, inner_product=value, threshold=threshold, u=u,
+        escape=escape,
+    )

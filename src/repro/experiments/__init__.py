@@ -1,0 +1,25 @@
+"""Experiment harness regenerating every table in EXPERIMENTS.md."""
+
+from .harness import Experiment, ExperimentResult, scaled_int
+from .registry import (
+    EXPERIMENTS,
+    experiment_ids,
+    get_experiment,
+    run_all,
+    run_experiment,
+)
+from .workloads import clustered_points, lowrank_matrix, regression_problem
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "scaled_int",
+    "EXPERIMENTS",
+    "experiment_ids",
+    "get_experiment",
+    "run_all",
+    "run_experiment",
+    "clustered_points",
+    "lowrank_matrix",
+    "regression_problem",
+]

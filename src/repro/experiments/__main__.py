@@ -1,0 +1,72 @@
+"""Command-line entry point for the experiment suite.
+
+Usage::
+
+    python -m repro.experiments            # list experiments
+    python -m repro.experiments E8         # run one at full scale
+    python -m repro.experiments all --scale 0.25 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .registry import EXPERIMENTS, experiment_ids, run_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the paper-reproduction experiments (E1-E14).",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (e.g. E8), 'all', or omit to list",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload scale; 1.0 = EXPERIMENTS.md fidelity (default)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="random seed (default 0)"
+    )
+    parser.add_argument(
+        "--json-dir", default=None, metavar="DIR",
+        help="also write each result as DIR/<id>.json",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.experiment is None:
+        for eid in experiment_ids():
+            cls = EXPERIMENTS[eid]
+            print(f"{eid:>4}  {cls.title}")
+            print(f"      claim: {cls.paper_claim}")
+        return 0
+    targets = (
+        experiment_ids() if args.experiment.lower() == "all"
+        else [args.experiment.upper()]
+    )
+    for eid in targets:
+        if eid not in EXPERIMENTS:
+            print(f"unknown experiment {eid!r}; known: "
+                  f"{', '.join(experiment_ids())}", file=sys.stderr)
+            return 2
+        result = run_experiment(eid, scale=args.scale, rng=args.seed)
+        print(result.render())
+        print()
+        if args.json_dir is not None:
+            directory = Path(args.json_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            result.save_json(directory / f"{eid}.json")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,113 @@
+"""E5 — Lemma 3: inner products of a finite set cannot all be very
+negative.
+
+We evaluate the exact pair probability ``P[⟨u,v⟩ ≥ -3ε]`` on adversarial
+finite vector families designed to minimize it, and confirm the Lemma 3
+floor of ``2ε`` always holds — including on the near-tight negative
+simplex configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.lemmas import lemma3_bound, lemma3_probability
+from ..utils.rng import spawn
+from ..utils.tables import TextTable
+from .harness import Experiment, ExperimentResult, scaled_int
+
+__all__ = [
+    "simplex_set",
+    "antipodal_set",
+    "random_sphere_set",
+    "shrunken_ball_set",
+    "Lemma3Experiment",
+]
+
+
+def simplex_set(size: int) -> np.ndarray:
+    """``size`` unit vectors with all pairwise inner products equal to
+    ``-1/(size-1)`` — the most negatively correlated configuration
+    possible, i.e. the adversarial case for Lemma 3."""
+    if size < 2:
+        raise ValueError(f"size must be ≥ 2, got {size}")
+    eye = np.eye(size)
+    centered = eye - 1.0 / size
+    return centered / np.linalg.norm(centered, axis=1, keepdims=True)
+
+
+def antipodal_set(size: int, dim: int, rng) -> np.ndarray:
+    """Pairs ``{±v_i}`` of random unit vectors (inner products ±1 mix)."""
+    if size % 2 != 0:
+        raise ValueError(f"size must be even, got {size}")
+    g = rng.standard_normal((size // 2, dim))
+    g /= np.linalg.norm(g, axis=1, keepdims=True)
+    return np.vstack([g, -g])
+
+
+def random_sphere_set(size: int, dim: int, rng) -> np.ndarray:
+    """Uniform random unit vectors."""
+    g = rng.standard_normal((size, dim))
+    return g / np.linalg.norm(g, axis=1, keepdims=True)
+
+
+def shrunken_ball_set(size: int, dim: int, rng) -> np.ndarray:
+    """Random vectors with norms spread over (0, 1] (interior points)."""
+    g = random_sphere_set(size, dim, rng)
+    radii = rng.random(size) ** (1.0 / dim)
+    return g * radii[:, None]
+
+
+class Lemma3Experiment(Experiment):
+    """Exhaustive Lemma 3 check on adversarial vector families."""
+
+    experiment_id = "E5"
+    title = "Anti-concentration of pairwise inner products (Lemma 3)"
+    paper_claim = "P[<u,v> >= -3eps] > 2eps for any finite set in the ball"
+
+    def _run(self, scale: float, rng) -> ExperimentResult:
+        result = self._result()
+        epsilons = [0.02, 0.05, 0.1]
+        size = scaled_int(48, scale, minimum=8)
+        if size % 2:
+            size += 1
+        dim = 24
+        families = {
+            "simplex": simplex_set(size),
+            "antipodal": antipodal_set(size, dim, spawn(rng)),
+            "sphere": random_sphere_set(size, dim, spawn(rng)),
+            "ball": shrunken_ball_set(size, dim, spawn(rng)),
+        }
+        table = TextTable(
+            title=f"E5: exact P[<u,v> >= -3eps] per family (size={size})",
+            columns=["family", "eps", "probability", "bound 2eps", "margin"],
+        )
+        min_margin = float("inf")
+        for name, vectors in families.items():
+            for epsilon in epsilons:
+                prob = lemma3_probability(vectors, epsilon)
+                bound = lemma3_bound(epsilon)
+                margin = prob - bound
+                min_margin = min(min_margin, margin)
+                table.add_row([name, epsilon, prob, bound, margin])
+        # The near-tight configuration: a simplex sized so that every
+        # off-diagonal inner product sits just below -3eps; only the
+        # diagonal pairs survive, so P = 1/size, barely above 2eps.
+        for epsilon in epsilons:
+            tight_size = max(2, int(1.0 / (3.0 * epsilon)))
+            vectors = simplex_set(tight_size)
+            prob = lemma3_probability(vectors, epsilon)
+            bound = lemma3_bound(epsilon)
+            margin = prob - bound
+            min_margin = min(min_margin, margin)
+            table.add_row(
+                [f"tight_simplex[{tight_size}]", epsilon, prob, bound,
+                 margin]
+            )
+        result.tables.append(table)
+        result.metrics["min_margin"] = min_margin
+        result.notes.append(
+            "the simplex family is the adversarial configuration; its "
+            "probability stays above 2eps as the lemma guarantees"
+        )
+        return result

@@ -1,0 +1,106 @@
+"""E12 — which lower bound dominates where (Section 1's discussion).
+
+The paper situates its results against NN13b, NN14 and the dense
+``d/ε²`` floor: the new ``ε^{O(δ)}d²`` bound extends the quadratic regime
+from ``d = Ω(1/ε⁴)`` down to ``d = Ω(1/ε^{2+O(δ)})``.  This experiment
+evaluates all closed-form bounds over a ``(d, ε)`` grid and prints the
+dominance map, plus the regime-threshold comparison.
+"""
+
+from __future__ import annotations
+
+from ..core.bounds import (
+    compare_lower_bounds,
+    max_sparsity_for_quadratic,
+    quadratic_regime_threshold,
+)
+from ..utils.tables import TextTable
+from .harness import Experiment, ExperimentResult
+
+__all__ = ["RegimeMapExperiment"]
+
+
+class RegimeMapExperiment(Experiment):
+    """Dominance map of the lower bounds over ``(d, ε)``."""
+
+    experiment_id = "E12"
+    title = "Lower-bound regime map (Section 1 discussion)"
+    paper_claim = "quadratic regime extends to d = Omega(1/eps^{2+O(delta)})"
+
+    def _run(self, scale: float, rng) -> ExperimentResult:
+        result = self._result()
+        delta = 0.05
+        ds = [2**j for j in range(4, 21, 2)]
+        inv_epsilons = [8, 16, 32, 64, 128]
+
+        # --- s = 1 map (Theorem 8 vs NN13b vs dense) -------------------
+        s1_table = TextTable(
+            title=f"E12a: dominant bound, s=1 (delta={delta:g})",
+            columns=["d"] + [f"eps=1/{ie}" for ie in inv_epsilons],
+        )
+        for d in ds:
+            row = [d]
+            for inv_eps in inv_epsilons:
+                comp = compare_lower_bounds(d, 1.0 / inv_eps, delta, s=1)
+                row.append(comp.dominant)
+            s1_table.add_row(row)
+        result.tables.append(s1_table)
+
+        # --- s = 1/(9 eps) map (Theorem 18 vs NN14 vs dense) ------------
+        sparse_table = TextTable(
+            title=f"E12b: dominant bound, s=1/(9eps) (delta={delta:g})",
+            columns=["d"] + [f"eps=1/{ie}" for ie in inv_epsilons],
+        )
+        theorem18_wins = 0
+        nn14_would_win = 0
+        cells = 0
+        for d in ds:
+            row = [d]
+            for inv_eps in inv_epsilons:
+                epsilon = 1.0 / inv_eps
+                s = max_sparsity_for_quadratic(epsilon)
+                comp = compare_lower_bounds(d, epsilon, delta, s=s)
+                row.append(comp.dominant)
+                cells += 1
+                if comp.dominant in ("theorem18", "theorem20"):
+                    theorem18_wins += 1
+                quadratic = {
+                    k: v for k, v in comp.bounds.items()
+                    if k in ("nn14", "theorem18")
+                }
+                if quadratic and max(
+                    quadratic, key=quadratic.get
+                ) == "nn14":
+                    nn14_would_win += 1
+            sparse_table.add_row(row)
+        result.tables.append(sparse_table)
+
+        # --- regime thresholds -----------------------------------------
+        thr_table = TextTable(
+            title="E12c: minimum d for the quadratic regime",
+            columns=["eps", "NN14 needs d >=", "Theorem 18 needs d >="],
+        )
+        improvement = 0.0
+        for inv_eps in inv_epsilons:
+            thresholds = quadratic_regime_threshold(1.0 / inv_eps, delta)
+            thr_table.add_row([
+                f"1/{inv_eps}", thresholds["nn14"], thresholds["theorem18"],
+            ])
+            improvement = max(
+                improvement, thresholds["nn14"] / thresholds["theorem18"]
+            )
+        result.tables.append(thr_table)
+
+        result.metrics["paper_bound_dominance_fraction"] = (
+            theorem18_wins / cells
+        )
+        result.metrics["nn14_beats_theorem18_fraction"] = (
+            nn14_would_win / cells
+        )
+        result.metrics["max_regime_improvement"] = improvement
+        result.notes.append(
+            "theorem18 dominates nn14 everywhere in the sparse map "
+            "(epsilon^{K1 delta} >> epsilon^2), and the quadratic regime "
+            "threshold improves from 1/eps^4 to ~1/eps^2"
+        )
+        return result

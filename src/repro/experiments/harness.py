@@ -1,0 +1,156 @@
+"""Experiment harness.
+
+Every experiment (E1–E12 of DESIGN.md) is a subclass of
+:class:`Experiment` producing an :class:`ExperimentResult` — one or more
+plain-text tables plus a dictionary of scalar metrics that the benchmarks
+and EXPERIMENTS.md assertions key off.
+
+Experiments accept a ``scale`` knob: ``scale = 1.0`` regenerates the
+EXPERIMENTS.md numbers; smaller values shrink trial counts and grids for
+fast benchmark runs while preserving the qualitative shape.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..utils.rng import RngLike, as_generator
+from ..utils.tables import TextTable
+
+__all__ = [
+    "ExperimentResult",
+    "Experiment",
+    "scaled_int",
+]
+
+
+def scaled_int(base: int, scale: float, minimum: int = 1) -> int:
+    """``base`` trials/points scaled by ``scale``, clamped below."""
+    if base < minimum:
+        raise ValueError(f"base ({base}) below minimum ({minimum})")
+    return max(minimum, int(round(base * scale)))
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered output of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id / title:
+        Identity of the experiment.
+    tables:
+        The result tables (the reproduction's "figures").
+    metrics:
+        Scalar metrics for automated shape assertions, e.g. fitted scaling
+        exponents.
+    notes:
+        Free-form commentary lines (substitutions, caveats).
+    elapsed_seconds:
+        Wall-clock runtime.
+    """
+
+    experiment_id: str
+    title: str
+    tables: List[TextTable] = field(default_factory=list)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    def render(self) -> str:
+        """Full plain-text report."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        parts.extend(table.render() for table in self.tables)
+        if self.metrics:
+            parts.append("metrics:")
+            parts.extend(
+                f"  {key} = {value:.6g}"
+                for key, value in sorted(self.metrics.items())
+            )
+        parts.extend(f"note: {note}" for note in self.notes)
+        parts.append(f"(completed in {self.elapsed_seconds:.1f}s)")
+        return "\n".join(parts)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (tables as header + string rows)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "tables": [
+                {
+                    "title": table.title,
+                    "columns": list(table.columns),
+                    "rows": [list(row) for row in table.rows],
+                }
+                for table in self.tables
+            ],
+            "metrics": dict(self.metrics),
+            "notes": list(self.notes),
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    def save_json(self, path: Union[str, Path]) -> Path:
+        """Write the result as JSON; returns the path written."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2))
+        return path
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        result = cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            metrics=dict(payload.get("metrics", {})),
+            notes=list(payload.get("notes", [])),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+        )
+        for spec in payload.get("tables", []):
+            table = TextTable(title=spec["title"], columns=spec["columns"])
+            table.rows = [list(row) for row in spec["rows"]]
+            result.tables.append(table)
+        return result
+
+    @classmethod
+    def load_json(cls, path: Union[str, Path]) -> "ExperimentResult":
+        """Read a result previously written by :meth:`save_json`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class Experiment(abc.ABC):
+    """Base class for DESIGN.md experiments.
+
+    Subclasses define class attributes ``experiment_id``, ``title`` and
+    ``paper_claim``, and implement :meth:`_run`.
+    """
+
+    experiment_id: str = "E?"
+    title: str = ""
+    paper_claim: str = ""
+
+    def run(self, scale: float = 1.0, rng: RngLike = None) -> ExperimentResult:
+        """Run the experiment; ``scale`` shrinks or grows the workload."""
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        started = time.perf_counter()
+        result = self._run(scale, as_generator(rng))
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    @abc.abstractmethod
+    def _run(self, scale: float, rng) -> ExperimentResult:
+        """Implementation hook; receives a normalized generator."""
+
+    def _result(self) -> ExperimentResult:
+        """Fresh result shell carrying this experiment's identity."""
+        return ExperimentResult(
+            experiment_id=self.experiment_id, title=self.title
+        )

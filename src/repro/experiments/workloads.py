@@ -1,0 +1,96 @@
+"""Synthetic workload generators for the application experiments (E11).
+
+The paper motivates OSEs with regression, low-rank approximation and
+clustering on large matrices; these generators produce controlled versions
+of those inputs (with known optima where possible).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..utils.rng import RngLike, as_generator
+from ..utils.validation import check_in_range, check_positive_int
+
+__all__ = [
+    "regression_problem",
+    "lowrank_matrix",
+    "clustered_points",
+]
+
+
+def regression_problem(n: int, d: int, noise: float = 0.1,
+                       coherent: bool = False,
+                       rng: RngLike = None) -> Tuple[np.ndarray, np.ndarray]:
+    """Overdetermined least-squares instance ``(A, b)``.
+
+    ``b = A x† + noise·g`` for a hidden ``x†``.  With ``coherent=True`` a
+    few rows carry most of the mass (large leverage scores) — the regime
+    where uniform row sampling fails but oblivious sketches do not.
+    """
+    n = check_positive_int(n, "n")
+    d = check_positive_int(d, "d")
+    if d > n:
+        raise ValueError(f"need n ≥ d, got n={n}, d={d}")
+    if noise < 0:
+        raise ValueError(f"noise must be nonnegative, got {noise}")
+    gen = as_generator(rng)
+    a = gen.standard_normal((n, d))
+    if coherent:
+        # Concentrate signal on d "spike" rows, damp the rest.
+        a *= 0.01
+        spikes = gen.choice(n, size=d, replace=False)
+        a[spikes] = gen.standard_normal((d, d)) * 10.0
+    x_true = gen.standard_normal(d)
+    b = a @ x_true + noise * gen.standard_normal(n)
+    return a, b
+
+
+def lowrank_matrix(n: int, c: int, k: int, decay: float = 0.5,
+                   rng: RngLike = None) -> np.ndarray:
+    """An ``n × c`` matrix with a planted rank-``k`` head and a decaying
+    tail.
+
+    Singular values: ``1`` for the top ``k``; ``decay^{j-k}`` beyond, so
+    the optimal rank-``k`` error is controlled by ``decay``.
+    """
+    n = check_positive_int(n, "n")
+    c = check_positive_int(c, "c")
+    k = check_positive_int(k, "k")
+    decay = check_in_range(decay, "decay", 0.0, 1.0)
+    gen = as_generator(rng)
+    rank = min(n, c)
+    if k > rank:
+        raise ValueError(f"k ({k}) exceeds max rank ({rank})")
+    u, _ = np.linalg.qr(gen.standard_normal((n, rank)))
+    v, _ = np.linalg.qr(gen.standard_normal((c, rank)))
+    sigma = np.ones(rank)
+    tail = np.arange(1, rank - k + 1)
+    sigma[k:] = decay**tail
+    return (u * sigma) @ v.T
+
+
+def clustered_points(count: int, n: int, k: int, spread: float = 0.1,
+                     rng: RngLike = None) -> Tuple[np.ndarray, np.ndarray]:
+    """``count`` points in ``R^n`` around ``k`` well-separated centers.
+
+    Returns ``(points, labels)``; centers are random orthogonal directions
+    so the ground-truth clustering is recoverable at small ``spread``.
+    """
+    count = check_positive_int(count, "count")
+    n = check_positive_int(n, "n")
+    k = check_positive_int(k, "k")
+    if k > count:
+        raise ValueError(f"k ({k}) cannot exceed count ({count})")
+    if k > n:
+        raise ValueError(f"k ({k}) cannot exceed the dimension ({n})")
+    if spread < 0:
+        raise ValueError(f"spread must be nonnegative, got {spread}")
+    gen = as_generator(rng)
+    centers, _ = np.linalg.qr(gen.standard_normal((n, k)))
+    centers = centers.T  # k × n orthonormal rows
+    labels = gen.integers(0, k, size=count)
+    points = centers[labels] + spread * gen.standard_normal((count, n))
+    return points, labels

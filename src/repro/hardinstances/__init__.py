@@ -1,0 +1,22 @@
+"""Hard-instance distributions from the paper (Definition 2 and mixtures)."""
+
+from .dbeta import DBeta, HardDraw, HardInstance
+from .identity import PermutedIdentity, SpikedSubspace
+from .mixtures import (
+    MixtureInstance,
+    section3_mixture,
+    section5_level_count,
+    section5_mixture,
+)
+
+__all__ = [
+    "DBeta",
+    "HardDraw",
+    "HardInstance",
+    "PermutedIdentity",
+    "SpikedSubspace",
+    "MixtureInstance",
+    "section3_mixture",
+    "section5_level_count",
+    "section5_mixture",
+]

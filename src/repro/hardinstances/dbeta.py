@@ -1,0 +1,224 @@
+"""The paper's hard-instance distribution ``D_β`` (Definition 2).
+
+``U = V W`` with ``V ∈ R^{n × d/β}`` having i.i.d. columns uniform over the
+``n`` canonical basis vectors, and ``W ∈ R^{d/β × d}`` placing ``1/β``
+Rademacher entries ``σ_j √β`` in column ``i`` at rows
+``(i-1)/β + 1, …, i/β``.  Concretely: column ``i`` of ``U`` is a sum of
+``1/β`` random signed canonical basis vectors scaled by ``√β`` — the
+"replicated identity" instance described in Section 1.1.
+
+We parameterize by the integer ``reps = 1/β`` (copies of the identity), so
+``β = 1/reps`` is exact.  Conditioned on the ``V``-columns being distinct
+(the paper's event ``B̄``), ``U`` is an isometry.  The sampler can enforce
+distinctness directly (default, matching the conditioning) or sample
+i.i.d. columns like the raw definition.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..utils.rng import RngLike, as_generator
+from ..utils.validation import check_positive_int
+
+__all__ = ["HardInstance", "HardDraw", "DBeta"]
+
+
+@dataclass(frozen=True)
+class HardDraw:
+    """A sampled hard-instance matrix with its generating randomness.
+
+    Attributes
+    ----------
+    u:
+        The ``n × d`` matrix ``U = VW``.
+    rows:
+        Array of shape ``(reps * d,)``: ``rows[j]`` is the (single) nonzero
+        row of column ``j`` of ``V`` — the indices the paper calls
+        ``C_1, …, C_{d/β}``.
+    signs:
+        Array of shape ``(reps * d,)``: the Rademacher variables ``σ_j``.
+    reps:
+        Copies of the identity, ``1/β``.
+    component:
+        Label of the mixture component this draw came from (or ``None``).
+    """
+
+    u: np.ndarray
+    rows: np.ndarray
+    signs: np.ndarray
+    reps: int
+    component: Optional[str] = None
+    #: True when ``u`` is fully determined by ``rows``/``signs``/``reps``
+    #: (the ``D_β`` structure), enabling the fast sketched-basis path.
+    structured: bool = True
+
+    @property
+    def n(self) -> int:
+        return self.u.shape[0]
+
+    @property
+    def d(self) -> int:
+        return self.u.shape[1]
+
+    @property
+    def beta(self) -> float:
+        """The distribution parameter ``β = 1/reps``."""
+        return 1.0 / self.reps
+
+    def v_matrix(self) -> np.ndarray:
+        """Materialize ``V ∈ R^{n × reps·d}`` (one 1 per column)."""
+        v = np.zeros((self.n, self.rows.size))
+        v[self.rows, np.arange(self.rows.size)] = 1.0
+        return v
+
+    def w_matrix(self) -> np.ndarray:
+        """Materialize ``W ∈ R^{reps·d × d}``."""
+        reps, d = self.reps, self.d
+        w = np.zeros((reps * d, d))
+        scale = 1.0 / np.sqrt(reps)
+        for i in range(d):
+            block = slice(i * reps, (i + 1) * reps)
+            w[block, i] = self.signs[block] * scale
+        return w
+
+    def sketched_basis(self, pi) -> np.ndarray:
+        """Compute ``ΠU`` without materializing ``U``.
+
+        For structured draws, ``ΠU = (ΠV)W`` needs only the ``reps·d``
+        columns of ``Π`` that ``V`` selects — a huge saving when the
+        ambient dimension is large.  Falls back to the dense product for
+        unstructured draws.
+        """
+        import scipy.sparse as sp  # local import to keep module light
+
+        if not self.structured:
+            product = pi @ self.u
+            if sp.issparse(product):
+                product = product.todense()
+            return np.asarray(product, dtype=float)
+        if sp.issparse(pi):
+            sub = np.asarray(pi.tocsc()[:, self.rows].todense(), dtype=float)
+        else:
+            sub = np.asarray(pi, dtype=float)[:, self.rows]
+        scale = 1.0 / np.sqrt(self.reps)
+        scaled = sub * (self.signs * scale)
+        m = scaled.shape[0]
+        return scaled.reshape(m, self.d, self.reps).sum(axis=2)
+
+
+class HardInstance(abc.ABC):
+    """A distribution over ``n × d`` test matrices (hard instances)."""
+
+    def __init__(self, n: int, d: int):
+        self._n = check_positive_int(n, "n")
+        self._d = check_positive_int(d, "d")
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def d(self) -> int:
+        return self._d
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    @abc.abstractmethod
+    def sample_draw(self, rng: RngLike = None) -> HardDraw:
+        """Draw a matrix together with its generating randomness."""
+
+    def sample(self, rng: RngLike = None) -> np.ndarray:
+        """Draw just the ``n × d`` matrix ``U``."""
+        return self.sample_draw(rng).u
+
+    def __repr__(self) -> str:
+        return f"{self.name}(n={self._n}, d={self._d})"
+
+
+class DBeta(HardInstance):
+    """Definition 2's ``D_β`` with ``β = 1/reps``.
+
+    Parameters
+    ----------
+    n, d:
+        Ambient dimension and subspace dimension.
+    reps:
+        Number of identity copies, ``1/β``; ``reps = 1`` is ``D_1`` (the
+        signed-permuted identity) and larger ``reps`` spreads each
+        dimension's mass over ``reps`` coordinates of magnitude ``√β``.
+    distinct_rows:
+        When True (default), the ``reps·d`` rows are sampled without
+        replacement, i.e. the draw is conditioned on the paper's event
+        ``B̄`` and ``U`` is exactly an isometry.  When False, rows are
+        i.i.d. uniform as in the raw Definition 2.
+    """
+
+    def __init__(self, n: int, d: int, reps: int = 1,
+                 distinct_rows: bool = True):
+        super().__init__(n, d)
+        self._reps = check_positive_int(reps, "reps")
+        if self._reps * self._d > self._n:
+            raise ValueError(
+                f"need n ≥ reps·d for an isometry, got n={n}, "
+                f"reps·d={self._reps * self._d}"
+            )
+        self._distinct_rows = bool(distinct_rows)
+
+    @property
+    def reps(self) -> int:
+        """Identity copies ``1/β``."""
+        return self._reps
+
+    @property
+    def beta(self) -> float:
+        """The distribution parameter ``β``."""
+        return 1.0 / self._reps
+
+    @property
+    def distinct_rows(self) -> bool:
+        return self._distinct_rows
+
+    @property
+    def name(self) -> str:
+        return f"DBeta[reps={self._reps}]"
+
+    @classmethod
+    def from_beta(cls, n: int, d: int, beta: float,
+                  distinct_rows: bool = True) -> "DBeta":
+        """Construct from ``β``, rounding ``1/β`` to the nearest integer ≥ 1."""
+        if not (0 < beta <= 1):
+            raise ValueError(f"beta must lie in (0, 1], got {beta}")
+        reps = max(1, int(round(1.0 / beta)))
+        return cls(n=n, d=d, reps=reps, distinct_rows=distinct_rows)
+
+    def sample_draw(self, rng: RngLike = None) -> HardDraw:
+        gen = as_generator(rng)
+        count = self._reps * self._d
+        if self._distinct_rows:
+            rows = gen.choice(self._n, size=count, replace=False)
+        else:
+            rows = gen.integers(0, self._n, size=count)
+        signs = gen.choice((-1.0, 1.0), size=count)
+        u = self._assemble(rows, signs)
+        return HardDraw(u=u, rows=rows, signs=signs, reps=self._reps,
+                        component=self.name)
+
+    def _assemble(self, rows: np.ndarray, signs: np.ndarray) -> np.ndarray:
+        """Build ``U`` directly from the support and signs.
+
+        Equivalent to ``V @ W`` but linear-time: column ``i`` receives
+        ``signs[j]/√reps`` at row ``rows[j]`` for each ``j`` in block ``i``.
+        Coinciding rows within a block accumulate, matching ``U = VW``.
+        """
+        u = np.zeros((self._n, self._d))
+        scale = 1.0 / np.sqrt(self._reps)
+        cols = np.repeat(np.arange(self._d), self._reps)
+        np.add.at(u, (rows, cols), signs * scale)
+        return u

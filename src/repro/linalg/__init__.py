@@ -1,0 +1,74 @@
+"""Numerical linear algebra substrate: subspaces, distortion, Gram tools."""
+
+from .distortion import (
+    DistortionReport,
+    distortion,
+    distortion_of_product,
+    distortion_report,
+    is_subspace_embedding_for,
+    singular_interval,
+    singular_interval_of_product,
+    sketched_basis,
+    vector_distortion,
+    worst_vector,
+)
+from .gram import (
+    column_inner_product,
+    column_norms,
+    column_sparsities,
+    columns_with_norm_in,
+    gram_matrix,
+    max_column_sparsity,
+    offdiagonal_extreme,
+)
+from .hadamard import fwht, hadamard_matrix, is_hadamard, next_power_of_two
+from .sparse_ops import (
+    columns_as_csc,
+    densify,
+    from_triplets,
+    nnz,
+    sketch_apply_cost,
+)
+from .subspace import (
+    coherent_subspace,
+    is_isometry,
+    orthonormal_basis,
+    random_subspace,
+    spanning_isometry,
+    subspace_angle,
+)
+
+__all__ = [
+    "DistortionReport",
+    "distortion",
+    "distortion_of_product",
+    "distortion_report",
+    "is_subspace_embedding_for",
+    "singular_interval",
+    "singular_interval_of_product",
+    "sketched_basis",
+    "vector_distortion",
+    "worst_vector",
+    "column_inner_product",
+    "column_norms",
+    "column_sparsities",
+    "columns_with_norm_in",
+    "gram_matrix",
+    "max_column_sparsity",
+    "offdiagonal_extreme",
+    "fwht",
+    "hadamard_matrix",
+    "is_hadamard",
+    "next_power_of_two",
+    "columns_as_csc",
+    "densify",
+    "from_triplets",
+    "nnz",
+    "sketch_apply_cost",
+    "coherent_subspace",
+    "is_isometry",
+    "orthonormal_basis",
+    "random_subspace",
+    "spanning_isometry",
+    "subspace_angle",
+]

@@ -1,0 +1,175 @@
+"""Exact subspace-embedding distortion.
+
+For an isometry ``U ∈ R^{n×d}`` and a sketch ``Π ∈ R^{m×n}``, the embedding
+condition of Definition 1,
+
+    ∀ x ∈ range(U):  (1-ε)‖x‖₂ ≤ ‖Πx‖₂ ≤ (1+ε)‖x‖₂,
+
+holds exactly when every singular value of ``ΠU`` lies in ``[1-ε, 1+ε]``.
+This module computes those singular values and derives the distortion, the
+pass/fail predicate, and the worst-case witness directions used by the
+lower-bound certification code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..utils.validation import check_epsilon
+
+__all__ = [
+    "DistortionReport",
+    "sketched_basis",
+    "singular_interval",
+    "singular_interval_of_product",
+    "distortion",
+    "distortion_of_product",
+    "distortion_report",
+    "is_subspace_embedding_for",
+    "worst_vector",
+    "vector_distortion",
+]
+
+MatrixLike = Union[np.ndarray, sp.spmatrix]
+
+
+def sketched_basis(pi: MatrixLike, u: np.ndarray) -> np.ndarray:
+    """Compute ``ΠU`` as a dense ``m × d`` array.
+
+    ``Π`` may be dense or scipy-sparse; ``U`` is densified (it is ``n × d``
+    with small ``d``, so the product is small even when ``n`` is large).
+    """
+    u = np.asarray(u, dtype=float)
+    if u.ndim != 2:
+        raise ValueError(f"u must be 2-dimensional, got ndim={u.ndim}")
+    if pi.shape[1] != u.shape[0]:
+        raise ValueError(
+            f"incompatible shapes: pi is {pi.shape}, u is {u.shape}"
+        )
+    if sp.issparse(pi):
+        return np.asarray(pi @ u)
+    return np.asarray(pi, dtype=float) @ u
+
+
+def singular_interval(pi: MatrixLike, u: np.ndarray) -> Tuple[float, float]:
+    """Smallest and largest singular values of ``ΠU``."""
+    return singular_interval_of_product(sketched_basis(pi, u))
+
+
+def singular_interval_of_product(product: np.ndarray) -> Tuple[float, float]:
+    """Extreme singular values of an already-computed ``ΠU``."""
+    product = np.asarray(product, dtype=float)
+    sigma = np.linalg.svd(product, compute_uv=False)
+    if sigma.size == 0:
+        raise ValueError("empty product matrix")
+    # ΠU may have fewer rows than columns, in which case the smallest
+    # singular value of the embedding map is 0 (a whole direction is
+    # annihilated), not the smallest of the m computed values.
+    smallest = float(sigma.min()) if product.shape[0] >= product.shape[1] else 0.0
+    return smallest, float(sigma.max())
+
+
+def distortion(pi: MatrixLike, u: np.ndarray) -> float:
+    """Worst multiplicative distortion of ``Π`` on ``range(U)``.
+
+    Returns ``max(1 - σ_min, σ_max - 1)``, i.e. the smallest ``ε`` such that
+    ``Π`` is an ε-embedding for the subspace.  ``U`` must be an isometry for
+    the value to carry that meaning; this is not re-checked here for speed.
+    """
+    lo, hi = singular_interval(pi, u)
+    return max(1.0 - lo, hi - 1.0)
+
+
+def distortion_of_product(product: np.ndarray) -> float:
+    """Worst distortion from an already-computed ``ΠU``."""
+    lo, hi = singular_interval_of_product(product)
+    return max(1.0 - lo, hi - 1.0)
+
+
+@dataclass(frozen=True)
+class DistortionReport:
+    """Full diagnostic of a sketch applied to one subspace.
+
+    Attributes
+    ----------
+    sigma_min, sigma_max:
+        Extreme singular values of ``ΠU``.
+    distortion:
+        ``max(1 - σ_min, σ_max - 1)``.
+    epsilon:
+        The tolerance the report was evaluated against.
+    """
+
+    sigma_min: float
+    sigma_max: float
+    distortion: float
+    epsilon: float
+
+    @property
+    def ok(self) -> bool:
+        """True when the embedding satisfies the ε-condition."""
+        return self.distortion <= self.epsilon
+
+    @property
+    def squared_interval(self) -> Tuple[float, float]:
+        """Range of ``‖Πx‖²`` over unit ``x`` in the subspace."""
+        return self.sigma_min**2, self.sigma_max**2
+
+    def __str__(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        return (
+            f"{status}: sigma in [{self.sigma_min:.4f}, {self.sigma_max:.4f}]"
+            f", distortion {self.distortion:.4f} vs eps {self.epsilon:.4f}"
+        )
+
+
+def distortion_report(pi: MatrixLike, u: np.ndarray,
+                      epsilon: float) -> DistortionReport:
+    """Evaluate ``Π`` on ``range(U)`` against tolerance ``epsilon``."""
+    epsilon = check_epsilon(epsilon)
+    lo, hi = singular_interval(pi, u)
+    return DistortionReport(
+        sigma_min=lo,
+        sigma_max=hi,
+        distortion=max(1.0 - lo, hi - 1.0),
+        epsilon=epsilon,
+    )
+
+
+def is_subspace_embedding_for(pi: MatrixLike, u: np.ndarray,
+                              epsilon: float) -> bool:
+    """True when ``Π`` ε-embeds ``range(U)`` (Definition 1, single draw)."""
+    return distortion_report(pi, u, epsilon).ok
+
+
+def worst_vector(pi: MatrixLike, u: np.ndarray) -> np.ndarray:
+    """Unit coefficient vector ``x`` attaining the worst distortion.
+
+    Returns ``x ∈ R^d`` with ``‖x‖₂ = 1`` maximizing ``|‖ΠUx‖₂ - 1|``; this
+    is the right-singular vector of ``ΠU`` for the extreme singular value.
+    """
+    product = sketched_basis(pi, u)
+    _, sigma, vt = np.linalg.svd(product, full_matrices=True)
+    d = product.shape[1]
+    if product.shape[0] < d:
+        # Some direction is annihilated entirely: any vector in the null
+        # space of ΠU achieves distortion 1.
+        return vt[-1]
+    hi_dev = sigma[0] - 1.0
+    lo_dev = 1.0 - sigma[d - 1]
+    return vt[0] if hi_dev >= lo_dev else vt[d - 1]
+
+
+def vector_distortion(pi: MatrixLike, u: np.ndarray,
+                      x: np.ndarray) -> float:
+    """Distortion ``|‖ΠUx‖₂ / ‖x‖₂ - 1|`` of one coefficient vector."""
+    x = np.asarray(x, dtype=float)
+    norm = np.linalg.norm(x)
+    if norm == 0:
+        raise ValueError("x must be nonzero")
+    image = sketched_basis(pi, u) @ x
+    return float(abs(np.linalg.norm(image) / norm - 1.0))

@@ -1,0 +1,110 @@
+"""Column-geometry tools: norms, Gram matrices and inner products.
+
+The paper's arguments are phrased in terms of the columns of ``Π`` (and of
+``ΠV``): their ℓ₂-norms (Lemma 6), pairwise inner products (Lemma 4,
+Lemma 14), and the heavy entries they contain.  These helpers operate
+uniformly on dense and scipy-sparse matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "column_norms",
+    "column_sparsities",
+    "max_column_sparsity",
+    "gram_matrix",
+    "column_inner_product",
+    "offdiagonal_extreme",
+    "columns_with_norm_in",
+]
+
+MatrixLike = Union[np.ndarray, sp.spmatrix]
+
+
+def _ensure_2d(a: MatrixLike) -> MatrixLike:
+    if a.ndim != 2:
+        raise ValueError(f"expected a matrix, got ndim={a.ndim}")
+    return a
+
+
+def column_norms(a: MatrixLike) -> np.ndarray:
+    """ℓ₂-norm of every column, as a 1-d array of length ``a.shape[1]``."""
+    _ensure_2d(a)
+    if sp.issparse(a):
+        squared = np.asarray(a.multiply(a).sum(axis=0)).ravel()
+        return np.sqrt(squared)
+    return np.linalg.norm(np.asarray(a, dtype=float), axis=0)
+
+
+def column_sparsities(a: MatrixLike) -> np.ndarray:
+    """Number of nonzero entries in every column."""
+    _ensure_2d(a)
+    if sp.issparse(a):
+        return np.asarray((a != 0).sum(axis=0)).ravel().astype(int)
+    return np.count_nonzero(np.asarray(a), axis=0).astype(int)
+
+
+def max_column_sparsity(a: MatrixLike) -> int:
+    """Maximum column sparsity ``s`` — the paper's sparsity parameter."""
+    sparsities = column_sparsities(a)
+    return int(sparsities.max()) if sparsities.size else 0
+
+
+def gram_matrix(a: MatrixLike) -> np.ndarray:
+    """Dense Gram matrix ``AᵀA`` of column inner products."""
+    _ensure_2d(a)
+    if sp.issparse(a):
+        return np.asarray((a.T @ a).todense())
+    a = np.asarray(a, dtype=float)
+    return a.T @ a
+
+
+def column_inner_product(a: MatrixLike, i: int, j: int) -> float:
+    """Inner product ``⟨A_{*,i}, A_{*,j}⟩`` of two columns."""
+    _ensure_2d(a)
+    cols = a.shape[1]
+    if not (0 <= i < cols and 0 <= j < cols):
+        raise IndexError(f"column indices ({i}, {j}) out of range for {cols}")
+    if sp.issparse(a):
+        ci = a.getcol(i)
+        cj = a.getcol(j)
+        return float((ci.T @ cj).toarray()[0, 0])
+    a = np.asarray(a, dtype=float)
+    return float(a[:, i] @ a[:, j])
+
+
+def offdiagonal_extreme(a: MatrixLike) -> Tuple[float, Tuple[int, int]]:
+    """Largest absolute off-diagonal Gram entry and its column pair.
+
+    Returns ``(value, (i, j))`` with ``i < j`` maximizing
+    ``|⟨A_{*,i}, A_{*,j}⟩|``.  Requires at least two columns.
+    """
+    gram = gram_matrix(a)
+    d = gram.shape[0]
+    if d < 2:
+        raise ValueError("need at least two columns")
+    masked = np.abs(gram.copy())
+    np.fill_diagonal(masked, -np.inf)
+    flat_index = int(np.argmax(masked))
+    i, j = divmod(flat_index, d)
+    if i > j:
+        i, j = j, i
+    return float(abs(gram[i, j])), (i, j)
+
+
+def columns_with_norm_in(a: MatrixLike, low: float,
+                         high: float) -> np.ndarray:
+    """Indices of columns whose ℓ₂-norm lies in ``[low, high]``.
+
+    Lemma 6 is stated in exactly these terms: the "good" columns of ``Π``
+    are those with norm in ``[1-ε, 1+ε]``.
+    """
+    if low > high:
+        raise ValueError(f"low ({low}) must not exceed high ({high})")
+    norms = column_norms(a)
+    return np.flatnonzero((norms >= low) & (norms <= high))

@@ -1,0 +1,78 @@
+"""Hadamard matrices (Sylvester construction) and fast transforms.
+
+Used in two places: the Remark 10 tightness construction (block-diagonal
+``√(8ε) H`` sketches) and the SRHT baseline sketch.  The fast Walsh–Hadamard
+transform keeps the SRHT at ``O(n log n)`` per vector without materializing
+the dense Hadamard matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.validation import check_power_of_two
+
+__all__ = [
+    "hadamard_matrix",
+    "fwht",
+    "is_hadamard",
+    "next_power_of_two",
+]
+
+
+def hadamard_matrix(order: int) -> np.ndarray:
+    """Sylvester Hadamard matrix of size ``order × order`` (power of two).
+
+    Entries are ±1 and ``H Hᵀ = order · I``.
+    """
+    order = check_power_of_two(order, "order")
+    h = np.ones((1, 1))
+    while h.shape[0] < order:
+        h = np.block([[h, h], [h, -h]])
+    return h
+
+
+def fwht(x: np.ndarray) -> np.ndarray:
+    """In-place-free fast Walsh–Hadamard transform along axis 0.
+
+    Computes ``H x`` for the Sylvester Hadamard matrix ``H`` of matching
+    (power-of-two) order in ``O(n log n)`` operations per column.  The
+    transform is *unnormalized*: applying it twice scales by ``n``.
+    """
+    x = np.array(x, dtype=float, copy=True)
+    n = x.shape[0]
+    check_power_of_two(n, "len(x)")
+    trailing = x.shape[1:]
+    work = x.reshape(n, -1)
+    h = 1
+    while h < n:
+        # Butterfly over blocks of size 2h.
+        blocks = work.reshape(n // (2 * h), 2, h, work.shape[1])
+        top = blocks[:, 0] + blocks[:, 1]
+        bottom = blocks[:, 0] - blocks[:, 1]
+        work = np.concatenate(
+            [top[:, None], bottom[:, None]], axis=1
+        ).reshape(n, work.shape[1])
+        h *= 2
+    return work.reshape((n,) + trailing)
+
+
+def is_hadamard(h: np.ndarray, tol: float = 1e-9) -> bool:
+    """True when ``h`` is a (±1, orthogonal-row) Hadamard matrix."""
+    h = np.asarray(h, dtype=float)
+    if h.ndim != 2 or h.shape[0] != h.shape[1]:
+        return False
+    n = h.shape[0]
+    if not np.all(np.isclose(np.abs(h), 1.0, atol=tol)):
+        return False
+    return bool(np.allclose(h @ h.T, n * np.eye(n), atol=tol * n))
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two that is ≥ ``n``."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    p = 1
+    while p < n:
+        p *= 2
+    return p

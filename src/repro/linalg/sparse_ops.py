@@ -1,0 +1,101 @@
+"""Sparse-matrix helpers shared by the sketch constructions.
+
+Sketches are stored as ``scipy.sparse.csc_matrix`` (column-sparse, matching
+the paper's per-column sparsity parameter ``s``).  These helpers build them
+from (row, column, value) triplets, count nonzeros, and estimate the cost of
+applying them.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..utils.validation import check_positive_int
+
+__all__ = [
+    "from_triplets",
+    "nnz",
+    "sketch_apply_cost",
+    "densify",
+    "columns_as_csc",
+]
+
+MatrixLike = Union[np.ndarray, sp.spmatrix]
+
+
+def from_triplets(rows: np.ndarray, cols: np.ndarray, values: np.ndarray,
+                  shape: tuple) -> sp.csc_matrix:
+    """Build a CSC matrix from coordinate triplets.
+
+    Duplicate (row, col) coordinates are summed, matching scipy's COO
+    semantics — sketch constructions that sample positions *with*
+    replacement rely on this (colliding OSNAP entries add up).
+    """
+    rows = np.asarray(rows, dtype=int).ravel()
+    cols = np.asarray(cols, dtype=int).ravel()
+    values = np.asarray(values, dtype=float).ravel()
+    if not (rows.shape == cols.shape == values.shape):
+        raise ValueError("rows, cols and values must have equal length")
+    m, n = shape
+    check_positive_int(m, "shape[0]")
+    check_positive_int(n, "shape[1]")
+    if rows.size and (rows.min() < 0 or rows.max() >= m):
+        raise ValueError("row index out of range")
+    if cols.size and (cols.min() < 0 or cols.max() >= n):
+        raise ValueError("column index out of range")
+    coo = sp.coo_matrix((values, (rows, cols)), shape=(m, n))
+    return coo.tocsc()
+
+
+def nnz(a: MatrixLike) -> int:
+    """Number of nonzero entries of a dense or sparse matrix."""
+    if sp.issparse(a):
+        # Eliminate stored explicit zeros before counting.
+        a = a.copy()
+        if hasattr(a, "eliminate_zeros"):
+            a = a.tocsr()
+            a.eliminate_zeros()
+        return int(a.nnz)
+    return int(np.count_nonzero(np.asarray(a)))
+
+
+def sketch_apply_cost(pi: MatrixLike, a: MatrixLike) -> int:
+    """Multiplication count of computing ``ΠA`` exploiting sparsity.
+
+    For a sketch with exactly ``s`` nonzeros per column, applying it to
+    ``A`` costs ``s · nnz(A)`` multiplications — the ``O(nnz(A) · s)``
+    figure quoted in the paper's introduction.  We compute the exact count
+    from the actual sparsity patterns: each nonzero ``A[k, j]`` is touched
+    once per nonzero in column ``k`` of ``Π``.
+    """
+    if pi.shape[1] != a.shape[0]:
+        raise ValueError(
+            f"incompatible shapes: pi is {pi.shape}, a is {a.shape}"
+        )
+    if sp.issparse(pi):
+        per_column = np.diff(pi.tocsc().indptr)
+    else:
+        per_column = np.count_nonzero(np.asarray(pi), axis=0)
+    if sp.issparse(a):
+        a_csr = a.tocsr()
+        row_nnz = np.diff(a_csr.indptr)
+    else:
+        row_nnz = np.count_nonzero(np.asarray(a), axis=1)
+    return int(per_column @ row_nnz)
+
+
+def densify(a: MatrixLike) -> np.ndarray:
+    """Convert to a dense float ndarray (no copy when already dense)."""
+    if sp.issparse(a):
+        return np.asarray(a.todense(), dtype=float)
+    return np.asarray(a, dtype=float)
+
+
+def columns_as_csc(a: MatrixLike) -> sp.csc_matrix:
+    """View ``a`` as CSC for fast column slicing."""
+    if sp.issparse(a):
+        return a.tocsc()
+    return sp.csc_matrix(np.asarray(a, dtype=float))

@@ -1,0 +1,32 @@
+"""Sketching-matrix constructions: CountSketch, OSNAP, Gaussian, and more."""
+
+from .base import Sketch, SketchFamily
+from .compose import StackedSketch, TwoStageSketch
+from .countsketch import CountSketch
+from .gaussian import GaussianSketch
+from .hadamard_block import HadamardBlockSketch, block_hadamard_matrix
+from .leverage_sampling import LeverageSampling
+from .osnap import OSNAP
+from .row_sampling import RowSampling
+from .sparse_jl import SparseJL
+from .srht import SRHT, SRHTOperator, SRHTSketch
+from .streaming import StreamingSketcher
+
+__all__ = [
+    "Sketch",
+    "SketchFamily",
+    "StackedSketch",
+    "TwoStageSketch",
+    "LeverageSampling",
+    "CountSketch",
+    "GaussianSketch",
+    "HadamardBlockSketch",
+    "block_hadamard_matrix",
+    "OSNAP",
+    "RowSampling",
+    "SparseJL",
+    "SRHT",
+    "SRHTOperator",
+    "SRHTSketch",
+    "StreamingSketcher",
+]

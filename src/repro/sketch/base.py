@@ -1,0 +1,165 @@
+"""Base classes for sketching-matrix families.
+
+A *family* (e.g. "CountSketch with m rows and n columns") is a distribution
+over matrices; calling :meth:`SketchFamily.sample` draws one concrete
+:class:`Sketch`.  This separation mirrors Definition 1: the oblivious
+subspace embedding is the distribution, and the embedding property is a
+statement about the probability that a sampled matrix works for a fixed
+subspace.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..linalg.gram import max_column_sparsity
+from ..linalg.sparse_ops import densify, nnz
+from ..utils.rng import RngLike
+from ..utils.validation import check_positive_int
+
+__all__ = ["Sketch", "SketchFamily"]
+
+MatrixLike = Union[np.ndarray, sp.spmatrix]
+
+
+class Sketch:
+    """A concrete sampled sketching matrix ``Π ∈ R^{m×n}``.
+
+    Wraps the matrix together with the family that produced it, and provides
+    the application operator and basic structural statistics.
+    """
+
+    def __init__(self, matrix: MatrixLike,
+                 family: Optional["SketchFamily"] = None):
+        if matrix.ndim != 2:
+            raise ValueError("a sketch must be a matrix")
+        self._matrix = matrix
+        self._family = family
+
+    @property
+    def matrix(self) -> MatrixLike:
+        """The underlying matrix (dense ndarray or scipy sparse)."""
+        return self._matrix
+
+    @property
+    def family(self) -> Optional["SketchFamily"]:
+        """The family this sketch was sampled from, when known."""
+        return self._family
+
+    @property
+    def shape(self) -> tuple:
+        return self._matrix.shape
+
+    @property
+    def m(self) -> int:
+        """Target (row) dimension."""
+        return self._matrix.shape[0]
+
+    @property
+    def n(self) -> int:
+        """Ambient (column) dimension."""
+        return self._matrix.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        """Number of nonzero entries."""
+        return nnz(self._matrix)
+
+    @property
+    def column_sparsity(self) -> int:
+        """Maximum number of nonzeros in a column — the paper's ``s``."""
+        return max_column_sparsity(self._matrix)
+
+    def apply(self, a: MatrixLike) -> np.ndarray:
+        """Compute ``ΠA`` (or ``Πx`` for a vector), densified."""
+        a_arr = a if sp.issparse(a) else np.asarray(a, dtype=float)
+        if a_arr.shape[0] != self.n:
+            raise ValueError(
+                f"cannot apply {self.shape} sketch to input with leading "
+                f"dimension {a_arr.shape[0]}"
+            )
+        result = self._matrix @ a_arr
+        if sp.issparse(result):
+            result = result.todense()
+        return np.asarray(result, dtype=float)
+
+    def basis_image(self, draw) -> np.ndarray:
+        """Compute ``ΠU`` for a hard-instance draw.
+
+        Defaults to the draw's structured fast path on the explicit
+        matrix; implicit/composed sketches override to avoid
+        materialization.
+        """
+        return draw.sketched_basis(self._matrix)
+
+    def apply_cost(self, a: MatrixLike) -> int:
+        """Multiplication count of :meth:`apply` on ``a``.
+
+        Defaults to the exact sparse count; implicit-operator sketches
+        (SRHT) override with their fast-transform cost.
+        """
+        from ..linalg.sparse_ops import sketch_apply_cost
+
+        return sketch_apply_cost(self._matrix, a)
+
+    def dense(self) -> np.ndarray:
+        """The sketch as a dense ndarray."""
+        return densify(self._matrix)
+
+    def __repr__(self) -> str:
+        origin = f" from {self._family!r}" if self._family is not None else ""
+        return f"Sketch(shape={self.shape}, nnz={self.nnz}{origin})"
+
+
+class SketchFamily(abc.ABC):
+    """A distribution over ``m × n`` sketching matrices.
+
+    Subclasses implement :meth:`sample`.  The constructor validates and
+    stores the common dimensions so subclasses only validate their own
+    extra parameters.
+    """
+
+    def __init__(self, m: int, n: int):
+        self._m = check_positive_int(m, "m")
+        self._n = check_positive_int(n, "n")
+
+    @property
+    def m(self) -> int:
+        """Target (row) dimension of sampled sketches."""
+        return self._m
+
+    @property
+    def n(self) -> int:
+        """Ambient (column) dimension of sampled sketches."""
+        return self._n
+
+    @property
+    def name(self) -> str:
+        """Human-readable family name (class name by default)."""
+        return type(self).__name__
+
+    @abc.abstractmethod
+    def sample(self, rng: RngLike = None) -> Sketch:
+        """Draw one sketching matrix from the family."""
+
+    def with_m(self, m: int) -> "SketchFamily":
+        """A copy of this family with a different target dimension.
+
+        Subclasses with extra parameters must override when those parameters
+        depend on ``m``.  Used by the minimal-``m`` search in
+        :mod:`repro.core.tester`.
+        """
+        params = dict(self._resize_params())
+        params["m"] = m
+        return type(self)(**params)
+
+    def _resize_params(self) -> dict:
+        """Constructor kwargs for :meth:`with_m`; subclasses extend."""
+        return {"m": self._m, "n": self._n}
+
+    def __repr__(self) -> str:
+        return f"{self.name}(m={self._m}, n={self._n})"

@@ -1,0 +1,184 @@
+"""OSNAP sketches (Nelson–Nguyễn): ``s`` nonzeros per column.
+
+Two classical variants are provided, matching the two samplings discussed
+in the literature (and in the paper's introduction):
+
+* ``"uniform"`` — each column gets ``s`` nonzero rows chosen uniformly
+  *without replacement*, each value ``±1/√s``.
+* ``"block"`` — the rows are partitioned into ``s`` contiguous blocks of
+  size ``m/s``; each column gets exactly one ``±1/√s`` entry per block.
+
+Both have exact column sparsity ``s``; CountSketch is the special case
+``s = 1`` of either.  The known upper bounds are
+``m = Θ(d log(d/δ)/ε²)`` with ``s = Θ(log(d/δ)/ε)``, or
+``m = Θ(d^{1+γ} log(d/δ)/ε²)`` with ``s = Θ(1/(γε))`` for constant γ.
+The paper's Theorems 18/20 lower-bound ``m`` for every ``s ≤ 1/(9ε)``;
+experiment E9 sweeps ``s`` and measures the trade-off.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..linalg.sparse_ops import from_triplets
+from ..utils.rng import RngLike, as_generator
+from ..utils.validation import (
+    check_epsilon,
+    check_positive_int,
+    check_probability,
+)
+from .base import Sketch, SketchFamily
+
+__all__ = ["OSNAP"]
+
+_VARIANTS = ("uniform", "block")
+
+
+class OSNAP(SketchFamily):
+    """OSNAP family with exact column sparsity ``s``.
+
+    Parameters
+    ----------
+    m:
+        Target dimension.  For the ``"block"`` variant it must be divisible
+        by ``s``.
+    n:
+        Ambient dimension.
+    s:
+        Number of nonzeros per column; values are ``±1/√s``.
+    variant:
+        ``"uniform"`` (positions without replacement per column) or
+        ``"block"`` (one position per row block).
+    """
+
+    def __init__(self, m: int, n: int, s: int, variant: str = "uniform"):
+        super().__init__(m, n)
+        self._s = check_positive_int(s, "s")
+        if self._s > self.m:
+            raise ValueError(
+                f"column sparsity s ({self._s}) cannot exceed m ({self.m})"
+            )
+        if variant not in _VARIANTS:
+            raise ValueError(
+                f"variant must be one of {_VARIANTS}, got {variant!r}"
+            )
+        if variant == "block" and self.m % self._s != 0:
+            raise ValueError(
+                f"block variant requires s | m, got m={self.m}, s={self._s}"
+            )
+        self._variant = variant
+
+    @property
+    def s(self) -> int:
+        """Column sparsity."""
+        return self._s
+
+    @property
+    def variant(self) -> str:
+        return self._variant
+
+    @property
+    def name(self) -> str:
+        return f"OSNAP[s={self._s},{self._variant}]"
+
+    def _resize_params(self) -> dict:
+        return {
+            "m": self.m,
+            "n": self.n,
+            "s": self._s,
+            "variant": self._variant,
+        }
+
+    def with_m(self, m: int) -> "OSNAP":
+        """Copy with a new target dimension (rounded up for block variant)."""
+        if self._variant == "block" and m % self._s != 0:
+            m = m + (self._s - m % self._s)
+        params = self._resize_params()
+        params["m"] = max(m, self._s)
+        if self._variant == "block" and params["m"] % self._s != 0:
+            params["m"] += self._s - params["m"] % self._s
+        return OSNAP(**params)
+
+    def sample(self, rng: RngLike = None) -> Sketch:
+        """Sample an OSNAP matrix with exactly ``s`` nonzeros per column."""
+        gen = as_generator(rng)
+        s, m, n = self._s, self.m, self.n
+        if self._variant == "uniform":
+            rows = self._sample_rows_without_replacement(gen, s, m, n)
+        else:
+            block = m // s
+            offsets = (np.arange(s) * block)[:, None]
+            rows = offsets + gen.integers(0, block, size=(s, n))
+        signs = gen.choice((-1.0, 1.0), size=(s, n))
+        values = signs / math.sqrt(s)
+        cols = np.broadcast_to(np.arange(n), (s, n))
+        matrix = from_triplets(
+            rows.ravel(), np.ascontiguousarray(cols).ravel(),
+            values.ravel(), (m, n)
+        )
+        return Sketch(matrix, family=self)
+
+    @staticmethod
+    def _sample_rows_without_replacement(gen: np.random.Generator, s: int,
+                                         m: int, n: int) -> np.ndarray:
+        """``s`` distinct uniform rows per column, vectorized.
+
+        Rejection-resamples columns containing duplicates; for ``s ≪ m``
+        this converges in a couple of rounds, avoiding a Python loop over
+        all ``n`` columns.
+        """
+        if s == 1:
+            return gen.integers(0, m, size=(1, n))
+        if 2 * s > m:
+            # Dense regime: random permutation per column, keep s rows.
+            return np.argsort(gen.random((m, n)), axis=0)[:s]
+        rows = gen.integers(0, m, size=(s, n))
+        while True:
+            ordered = np.sort(rows, axis=0)
+            bad = np.flatnonzero(np.any(np.diff(ordered, axis=0) == 0,
+                                        axis=0))
+            if bad.size == 0:
+                return rows
+            rows[:, bad] = gen.integers(0, m, size=(s, bad.size))
+
+    @staticmethod
+    def recommended_m(d: int, epsilon: float, delta: float,
+                      constant: float = 2.0) -> int:
+        """Upper bound ``m = Θ(d log(d/δ)/ε²)`` for ``s = Θ(log(d/δ)/ε)``."""
+        d = check_positive_int(d, "d")
+        epsilon = check_epsilon(epsilon)
+        delta = check_probability(delta, "delta")
+        return max(1, math.ceil(
+            constant * d * math.log(max(d / delta, 2.0)) / epsilon**2
+        ))
+
+    @staticmethod
+    def recommended_s(d: int, epsilon: float, delta: float,
+                      constant: float = 1.0) -> int:
+        """Matching sparsity ``s = Θ(log(d/δ)/ε)`` for :meth:`recommended_m`."""
+        d = check_positive_int(d, "d")
+        epsilon = check_epsilon(epsilon)
+        delta = check_probability(delta, "delta")
+        return max(1, math.ceil(
+            constant * math.log(max(d / delta, 2.0)) / epsilon
+        ))
+
+    @staticmethod
+    def recommended_m_gamma(d: int, epsilon: float, delta: float,
+                            gamma: float, constant: float = 2.0) -> int:
+        """Alternative upper bound ``m = Θ(d^{1+γ} log(d/δ)/ε²)``.
+
+        The matching sparsity is ``s = Θ(1/(γ ε))`` — this is the regime
+        the paper's ``s ≤ 1/(9ε)`` constraint addresses.
+        """
+        d = check_positive_int(d, "d")
+        epsilon = check_epsilon(epsilon)
+        delta = check_probability(delta, "delta")
+        if gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {gamma}")
+        return max(1, math.ceil(
+            constant * d ** (1.0 + gamma)
+            * math.log(max(d / delta, 2.0)) / epsilon**2
+        ))

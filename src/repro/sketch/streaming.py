@@ -1,0 +1,131 @@
+"""Streaming and distributed sketching.
+
+Sketches are linear maps, which gives them two properties database
+systems rely on:
+
+* **streaming** — ``ΠA`` can be accumulated one row (or row block) of
+  ``A`` at a time: a row ``a_iᵀ`` contributes ``Π[:, i] · a_iᵀ``;
+* **mergeability** — shards sketched with the *same* sampled ``Π`` can
+  be combined by addition: if ``A = A₁ + A₂`` (row-disjoint shards padded
+  with zeros), then ``ΠA = ΠA₁ + ΠA₂``.
+
+:class:`StreamingSketcher` wraps a sampled sketch with an accumulator
+supporting ``update_rows`` / ``merge`` / ``result``, so a tall matrix can
+be sketched in a single pass over its rows, or in parallel across shards
+that share the sketch seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..utils.rng import RngLike
+from ..utils.validation import check_positive_int
+from .base import Sketch, SketchFamily
+
+__all__ = ["StreamingSketcher"]
+
+
+class StreamingSketcher:
+    """Accumulate ``ΠA`` over row updates of a tall matrix ``A``.
+
+    Parameters
+    ----------
+    family:
+        The sketch family; one matrix is sampled at construction.
+    columns:
+        Number of columns of the matrices that will be streamed (the
+        width of the accumulator).
+    rng:
+        Seed for the sampled sketch.  Two sketchers built from the same
+        family and seed hold identical matrices and can merge.
+
+    Example
+    -------
+    >>> from repro.sketch import CountSketch
+    >>> left = StreamingSketcher(CountSketch(m=64, n=1000), columns=3,
+    ...                          rng=7)
+    >>> right = StreamingSketcher(CountSketch(m=64, n=1000), columns=3,
+    ...                           rng=7)
+    >>> # ... left.update_rows(...) on one shard, right on another ...
+    >>> combined = left.merge(right).result()  # doctest: +SKIP
+    """
+
+    def __init__(self, family: SketchFamily, columns: int,
+                 rng: RngLike = None, sketch: Optional[Sketch] = None):
+        self._family = family
+        self._columns = check_positive_int(columns, "columns")
+        self._sketch = sketch if sketch is not None else family.sample(rng)
+        self._csc = (
+            self._sketch.matrix.tocsc()
+            if sp.issparse(self._sketch.matrix)
+            else sp.csc_matrix(np.asarray(self._sketch.matrix, dtype=float))
+        )
+        self._accumulator = np.zeros((family.m, columns))
+        self._rows_seen = 0
+
+    @property
+    def sketch(self) -> Sketch:
+        """The underlying sampled sketch."""
+        return self._sketch
+
+    @property
+    def rows_seen(self) -> int:
+        """Total number of row updates applied."""
+        return self._rows_seen
+
+    def update_rows(self, row_indices: Sequence[int],
+                    rows: np.ndarray) -> "StreamingSketcher":
+        """Add the contribution of rows ``A[row_indices] = rows``.
+
+        ``rows`` has shape ``(len(row_indices), columns)``.  Returns
+        ``self`` for chaining.  Feeding the same row index twice *adds*
+        (turnstile-update semantics).
+        """
+        indices = np.asarray(row_indices, dtype=int)
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        if rows.shape != (indices.size, self._columns):
+            raise ValueError(
+                f"rows must have shape ({indices.size}, {self._columns}), "
+                f"got {rows.shape}"
+            )
+        if indices.size and (
+            indices.min() < 0 or indices.max() >= self._family.n
+        ):
+            raise ValueError("row index out of range for the sketch")
+        # Contribution of rows R at indices I: Π[:, I] @ R.
+        self._accumulator += self._csc[:, indices] @ rows
+        self._rows_seen += indices.size
+        return self
+
+    def update_matrix(self, a, start_row: int = 0) -> "StreamingSketcher":
+        """Stream a whole block ``A[start_row : start_row + len(a)]``."""
+        a = np.atleast_2d(np.asarray(a, dtype=float))
+        indices = np.arange(start_row, start_row + a.shape[0])
+        return self.update_rows(indices, a)
+
+    def merge(self, other: "StreamingSketcher") -> "StreamingSketcher":
+        """Merge another shard's accumulator into this one (in place).
+
+        Both sketchers must have been built from the same sampled sketch
+        (same family and seed); this is verified structurally.
+        """
+        if not isinstance(other, StreamingSketcher):
+            raise TypeError("can only merge with another StreamingSketcher")
+        if self._accumulator.shape != other._accumulator.shape:
+            raise ValueError("shards have different accumulator shapes")
+        if (self._csc != other._csc).nnz != 0:
+            raise ValueError(
+                "shards were sketched with different matrices; build both "
+                "from the same family and seed"
+            )
+        self._accumulator += other._accumulator
+        self._rows_seen += other._rows_seen
+        return self
+
+    def result(self) -> np.ndarray:
+        """The accumulated ``ΠA`` so far (a copy)."""
+        return self._accumulator.copy()

@@ -1,0 +1,46 @@
+"""Shared utilities: RNG plumbing, validation, statistics, grids, tables."""
+
+from .grids import dyadic_grid, geometric_grid, log_int_grid
+from .rng import RngLike, as_generator, spawn, spawn_many, stream
+from .stats import (
+    BernoulliEstimate,
+    estimate_probability,
+    fit_power_law,
+    geometric_mean,
+    wilson_interval,
+)
+from .tables import TextTable, format_value
+from .validation import (
+    check_epsilon,
+    check_in_range,
+    check_matrix,
+    check_nonnegative_int,
+    check_positive_int,
+    check_power_of_two,
+    check_probability,
+)
+
+__all__ = [
+    "RngLike",
+    "as_generator",
+    "spawn",
+    "spawn_many",
+    "stream",
+    "BernoulliEstimate",
+    "estimate_probability",
+    "fit_power_law",
+    "geometric_mean",
+    "wilson_interval",
+    "TextTable",
+    "format_value",
+    "dyadic_grid",
+    "geometric_grid",
+    "log_int_grid",
+    "check_epsilon",
+    "check_in_range",
+    "check_matrix",
+    "check_nonnegative_int",
+    "check_positive_int",
+    "check_power_of_two",
+    "check_probability",
+]

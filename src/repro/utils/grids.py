@@ -1,0 +1,65 @@
+"""Parameter-grid construction for sweeps.
+
+Experiments sweep dimensions, sparsities and accuracies over structured
+grids; these helpers build them deterministically so EXPERIMENTS.md numbers
+are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .validation import check_positive_int
+
+__all__ = [
+    "log_int_grid",
+    "geometric_grid",
+    "dyadic_grid",
+]
+
+
+def log_int_grid(low: int, high: int, points: int) -> List[int]:
+    """Distinct integers roughly logarithmically spaced in ``[low, high]``.
+
+    Duplicates after rounding are collapsed, so the result may contain fewer
+    than ``points`` values; both endpoints are always present.
+    """
+    low = check_positive_int(low, "low")
+    high = check_positive_int(high, "high")
+    points = check_positive_int(points, "points")
+    if low > high:
+        raise ValueError(f"low ({low}) must not exceed high ({high})")
+    if points == 1 or low == high:
+        return sorted({low, high})
+    raw = np.exp(np.linspace(np.log(low), np.log(high), points))
+    values = sorted({int(round(v)) for v in raw} | {low, high})
+    return values
+
+
+def geometric_grid(low: float, high: float, points: int) -> List[float]:
+    """``points`` floats geometrically spaced over ``[low, high]``."""
+    points = check_positive_int(points, "points")
+    if low <= 0 or high <= 0:
+        raise ValueError("geometric_grid requires positive endpoints")
+    if low > high:
+        raise ValueError(f"low ({low}) must not exceed high ({high})")
+    if points == 1:
+        return [low]
+    return list(np.exp(np.linspace(np.log(low), np.log(high), points)))
+
+
+def dyadic_grid(low: int, high: int) -> List[int]:
+    """Powers of two in ``[low, high]``, e.g. sparsity levels ``s = 2^l``."""
+    low = check_positive_int(low, "low")
+    high = check_positive_int(high, "high")
+    if low > high:
+        raise ValueError(f"low ({low}) must not exceed high ({high})")
+    values = []
+    v = 1
+    while v <= high:
+        if v >= low:
+            values.append(v)
+        v *= 2
+    return values

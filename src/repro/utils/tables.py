@@ -1,0 +1,68 @@
+"""Plain-text result tables.
+
+Experiment harnesses and benchmarks print their results as aligned text
+tables (the reproduction's equivalent of the paper's tables).  This module
+renders them without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+__all__ = ["TextTable", "format_value"]
+
+
+def format_value(value: Any, float_format: str = "{:.4g}") -> str:
+    """Render a cell value: floats via ``float_format``, rest via ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return float_format.format(value)
+    return str(value)
+
+
+@dataclass
+class TextTable:
+    """An aligned plain-text table with a title and column headers.
+
+    Example
+    -------
+    >>> t = TextTable(title="demo", columns=["d", "m*"])
+    >>> t.add_row([8, 123])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    title: str
+    columns: Sequence[str]
+    float_format: str = "{:.4g}"
+    rows: List[List[str]] = field(default_factory=list)
+
+    def add_row(self, values: Sequence[Any]) -> None:
+        """Append a row; must have exactly one value per column."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values but table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append([format_value(v, self.float_format) for v in values])
+
+    def render(self) -> str:
+        """Render the table as a string with aligned columns."""
+        headers = [str(c) for c in self.columns]
+        widths = [len(h) for h in headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_row(cells: Sequence[str]) -> str:
+            return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+        rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        lines = [self.title, rule, fmt_row(headers), rule]
+        lines.extend(fmt_row(row) for row in self.rows)
+        lines.append(rule)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

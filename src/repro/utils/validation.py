@@ -1,0 +1,110 @@
+"""Argument validation helpers shared across the library.
+
+All public constructors validate their parameters eagerly and raise
+:class:`ValueError` (wrong value) or :class:`TypeError` (wrong kind) with a
+message naming the offending argument.  Centralizing the checks keeps error
+messages consistent and the call sites one line long.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "check_positive_int",
+    "check_nonnegative_int",
+    "check_probability",
+    "check_epsilon",
+    "check_in_range",
+    "check_matrix",
+    "check_power_of_two",
+]
+
+
+def check_positive_int(value, name: str) -> int:
+    """Return ``value`` as int, requiring it to be a positive integer."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_nonnegative_int(value, name: str) -> int:
+    """Return ``value`` as int, requiring it to be a nonnegative integer."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < 0:
+        raise ValueError(f"{name} must be nonnegative, got {value}")
+    return value
+
+
+def check_probability(value, name: str, *, allow_zero: bool = False,
+                      allow_one: bool = False) -> float:
+    """Return ``value`` as float, requiring it to lie in (0, 1) by default."""
+    value = float(value)
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    low_ok = value > 0.0 or (allow_zero and value == 0.0)
+    high_ok = value < 1.0 or (allow_one and value == 1.0)
+    if not (low_ok and high_ok):
+        lo = "[0" if allow_zero else "(0"
+        hi = "1]" if allow_one else "1)"
+        raise ValueError(f"{name} must lie in {lo}, {hi}, got {value}")
+    return value
+
+
+def check_epsilon(value, name: str = "epsilon", *, upper: float = 1.0) -> float:
+    """Return ``value`` as float, requiring ``0 < value < upper``."""
+    value = float(value)
+    if not (0.0 < value < upper):
+        raise ValueError(f"{name} must lie in (0, {upper}), got {value}")
+    return value
+
+
+def check_in_range(value, name: str, low: float, high: float, *,
+                   inclusive: bool = True) -> float:
+    """Return ``value`` as float, requiring it to lie in the given range."""
+    value = float(value)
+    if inclusive:
+        ok = low <= value <= high
+        bounds = f"[{low}, {high}]"
+    else:
+        ok = low < value < high
+        bounds = f"({low}, {high})"
+    if not ok:
+        raise ValueError(f"{name} must lie in {bounds}, got {value}")
+    return value
+
+
+def check_matrix(a, name: str, *, ndim: int = 2,
+                 shape: Optional[tuple] = None) -> np.ndarray:
+    """Return ``a`` as a float ndarray, checking dimensionality and shape.
+
+    ``shape`` entries set to ``None`` are unconstrained, e.g.
+    ``shape=(None, 3)`` requires exactly 3 columns.
+    """
+    a = np.asarray(a, dtype=float)
+    if a.ndim != ndim:
+        raise ValueError(f"{name} must be {ndim}-dimensional, got ndim={a.ndim}")
+    if shape is not None:
+        for axis, want in enumerate(shape):
+            if want is not None and a.shape[axis] != want:
+                raise ValueError(
+                    f"{name} must have shape {shape}, got {a.shape}"
+                )
+    if not np.all(np.isfinite(a)):
+        raise ValueError(f"{name} must contain only finite values")
+    return a
+
+
+def check_power_of_two(value, name: str) -> int:
+    """Return ``value`` as int, requiring it to be a power of two."""
+    value = check_positive_int(value, name)
+    if value & (value - 1) != 0:
+        raise ValueError(f"{name} must be a power of two, got {value}")
+    return value

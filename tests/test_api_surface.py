@@ -1,0 +1,68 @@
+"""Direct tests for public API pieces otherwise only exercised
+indirectly."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.experiments import registry
+from repro.linalg import singular_interval_of_product
+from repro.sketch import Sketch, SketchFamily
+
+
+class TestSingularIntervalOfProduct:
+    def test_diagonal_product(self):
+        product = np.diag([0.5, 1.0, 2.0])
+        lo, hi = singular_interval_of_product(product)
+        assert lo == pytest.approx(0.5)
+        assert hi == pytest.approx(2.0)
+
+    def test_wide_product_reports_zero(self):
+        product = np.ones((1, 3))
+        lo, hi = singular_interval_of_product(product)
+        assert lo == 0.0
+
+    def test_empty_product_rejected(self):
+        with pytest.raises(ValueError):
+            singular_interval_of_product(np.empty((0, 0)))
+
+
+class TestRunAll:
+    def test_runs_registered_subset(self, monkeypatch):
+        monkeypatch.setattr(registry, "experiment_ids",
+                            lambda: ["E5", "E12"])
+        results = registry.run_all(scale=0.15, rng=0)
+        assert [r.experiment_id for r in results] == ["E5", "E12"]
+        assert all(r.metrics for r in results)
+
+
+class TestSketchFamilyContract:
+    def test_family_is_abstract(self):
+        with pytest.raises(TypeError):
+            SketchFamily(m=4, n=4)
+
+    def test_sketch_requires_matrix(self):
+        with pytest.raises(ValueError):
+            Sketch(np.ones(3))
+
+    def test_sketch_repr(self):
+        sketch = Sketch(np.eye(3))
+        assert "Sketch" in repr(sketch)
+        assert sketch.family is None
+
+    def test_generic_with_m(self):
+        from repro.sketch import GaussianSketch
+
+        fam = GaussianSketch(m=8, n=16).with_m(32)
+        assert fam.m == 32
+        assert isinstance(fam, GaussianSketch)
+
+
+class TestPackageMetadata:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackages_exported(self):
+        for name in ("apps", "core", "hardinstances", "linalg", "sketch",
+                     "utils"):
+            assert hasattr(repro, name)

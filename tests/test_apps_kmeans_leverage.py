@@ -1,0 +1,109 @@
+"""Tests for repro.apps.kmeans and repro.apps.leverage."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kmeans import kmeans_cost, lloyd_kmeans, sketched_kmeans
+from repro.apps.leverage import (
+    exact_leverage_scores,
+    sketched_leverage_scores,
+)
+from repro.experiments.workloads import clustered_points
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.gaussian import GaussianSketch
+
+
+class TestKMeansCost:
+    def test_zero_for_singleton_clusters(self):
+        points = np.array([[0.0, 0.0], [10.0, 10.0]])
+        assert kmeans_cost(points, np.array([0, 1])) == 0.0
+
+    def test_known_value(self):
+        points = np.array([[0.0], [2.0]])
+        # One cluster at centroid 1: cost = 1 + 1.
+        assert kmeans_cost(points, np.array([0, 0])) == pytest.approx(2.0)
+
+    def test_label_shape_validated(self):
+        with pytest.raises(ValueError):
+            kmeans_cost(np.ones((3, 2)), np.array([0, 1]))
+
+
+class TestLloydKMeans:
+    def test_recovers_separated_clusters(self):
+        points, truth = clustered_points(60, 16, 3, spread=0.01, rng=0)
+        labels, centroids = lloyd_kmeans(points, 3, rng=1)
+        # Same partition as ground truth up to relabeling: verify the
+        # cost is near zero.
+        assert kmeans_cost(points, labels) <= kmeans_cost(points, truth) * 3
+
+    def test_deterministic(self):
+        points, _ = clustered_points(40, 8, 2, rng=2)
+        l1, _ = lloyd_kmeans(points, 2, rng=3)
+        l2, _ = lloyd_kmeans(points, 2, rng=3)
+        assert np.array_equal(l1, l2)
+
+    def test_k_exceeding_points_raises(self):
+        with pytest.raises(ValueError):
+            lloyd_kmeans(np.ones((3, 2)), 4)
+
+    def test_centroid_shape(self):
+        points, _ = clustered_points(30, 8, 2, rng=4)
+        _, centroids = lloyd_kmeans(points, 2, rng=5)
+        assert centroids.shape == (2, 8)
+
+
+class TestSketchedKMeans:
+    def test_cost_preserved_with_good_sketch(self):
+        points, _ = clustered_points(60, 64, 3, spread=0.05, rng=0)
+        fam = GaussianSketch(m=32, n=64)
+        res = sketched_kmeans(points, 3, fam, rng=1)
+        assert res.cost_ratio <= 1.5
+
+    def test_countsketch_variant(self):
+        points, _ = clustered_points(50, 128, 2, spread=0.05, rng=2)
+        fam = CountSketch(m=64, n=128)
+        res = sketched_kmeans(points, 2, fam, rng=3)
+        assert res.cost_ratio <= 2.0
+        assert res.labels.shape == (50,)
+
+    def test_feature_dimension_validated(self):
+        points, _ = clustered_points(20, 16, 2, rng=4)
+        with pytest.raises(ValueError):
+            sketched_kmeans(points, 2, GaussianSketch(m=8, n=32))
+
+
+class TestLeverageScores:
+    def test_exact_scores_sum_to_rank(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((50, 4))
+        scores = exact_leverage_scores(a)
+        assert scores.sum() == pytest.approx(4.0)
+        assert np.all((scores >= 0) & (scores <= 1 + 1e-12))
+
+    def test_spiked_row_has_high_leverage(self):
+        rng = np.random.default_rng(1)
+        a = 0.01 * rng.standard_normal((50, 3))
+        a[7] = [10.0, 0.0, 0.0]
+        scores = exact_leverage_scores(a)
+        assert scores[7] > 0.9
+
+    def test_sketched_scores_close_to_exact(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((256, 5))
+        fam = GaussianSketch(m=128, n=256)
+        res = sketched_leverage_scores(a, fam, rng=3)
+        assert res.max_relative_error < 0.5
+        assert res.scores.shape == (256,)
+
+    def test_dimension_mismatch_raises(self):
+        a = np.ones((32, 2)) + np.eye(32, 2)
+        with pytest.raises(ValueError):
+            sketched_leverage_scores(a, GaussianSketch(m=16, n=64))
+
+    def test_rank_deficient_sketch_detected(self):
+        rng = np.random.default_rng(4)
+        a = rng.standard_normal((64, 8))
+        # m < d: the sketched matrix cannot have full column rank.
+        fam = GaussianSketch(m=4, n=64)
+        with pytest.raises(ValueError):
+            sketched_leverage_scores(a, fam, rng=5)

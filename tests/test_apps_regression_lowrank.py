@@ -1,0 +1,121 @@
+"""Tests for repro.apps.regression and repro.apps.lowrank."""
+
+import numpy as np
+import pytest
+
+from repro.apps.lowrank import best_rank_k, sketched_low_rank
+from repro.apps.regression import (
+    error_ratio_bound,
+    lstsq,
+    sketched_lstsq,
+)
+from repro.experiments.workloads import lowrank_matrix, regression_problem
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.gaussian import GaussianSketch
+
+
+class TestLstsq:
+    def test_exact_solution_of_consistent_system(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((30, 4))
+        x_true = rng.standard_normal(4)
+        x = lstsq(a, a @ x_true)
+        assert np.allclose(x, x_true)
+
+    def test_vector_length_validated(self):
+        with pytest.raises(ValueError):
+            lstsq(np.ones((5, 2)), np.ones(4))
+
+
+class TestErrorRatioBound:
+    def test_value(self):
+        assert error_ratio_bound(0.25) == pytest.approx(5.0 / 3.0)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            error_ratio_bound(1.0)
+
+
+class TestSketchedLstsq:
+    def test_gaussian_meets_guarantee(self):
+        n, d, eps, delta = 512, 5, 0.25, 0.1
+        a, b = regression_problem(n, d, noise=0.5, rng=0)
+        fam = GaussianSketch(
+            m=GaussianSketch.recommended_m(d + 1, eps, delta), n=n
+        )
+        res = sketched_lstsq(a, b, fam, rng=1)
+        assert res.ratio is not None
+        assert res.ratio <= error_ratio_bound(eps)
+
+    def test_countsketch_meets_guarantee(self):
+        n, d, eps, delta = 512, 4, 0.3, 0.3
+        a, b = regression_problem(n, d, noise=0.5, rng=2)
+        m = min(n, CountSketch.recommended_m(d + 1, eps, delta))
+        res = sketched_lstsq(a, b, CountSketch(m=m, n=n), rng=3)
+        assert res.ratio <= error_ratio_bound(eps) * 1.05
+
+    def test_result_metadata(self):
+        n, d = 128, 3
+        a, b = regression_problem(n, d, rng=4)
+        fam = GaussianSketch(m=64, n=n)
+        res = sketched_lstsq(a, b, fam, rng=5)
+        assert res.m == 64
+        assert res.sketch_cost > 0
+        assert res.x.shape == (d,)
+
+    def test_no_exact_comparison(self):
+        n, d = 128, 3
+        a, b = regression_problem(n, d, rng=6)
+        res = sketched_lstsq(a, b, GaussianSketch(m=64, n=n), rng=7,
+                             compare_exact=False)
+        assert res.optimal_residual is None
+        assert res.ratio is None
+
+    def test_dimension_mismatch_raises(self):
+        a, b = regression_problem(64, 3, rng=8)
+        with pytest.raises(ValueError):
+            sketched_lstsq(a, b, GaussianSketch(m=32, n=128), rng=9)
+
+    def test_b_shape_validated(self):
+        a, _ = regression_problem(64, 3, rng=10)
+        with pytest.raises(ValueError):
+            sketched_lstsq(a, np.ones(63), GaussianSketch(m=32, n=64))
+
+
+class TestBestRankK:
+    def test_exact_on_low_rank_input(self):
+        a = lowrank_matrix(60, 30, k=3, decay=0.0, rng=0)
+        approx = best_rank_k(a, 3)
+        assert np.linalg.norm(a - approx) == pytest.approx(0.0, abs=1e-8)
+
+    def test_error_decreases_with_k(self):
+        a = lowrank_matrix(60, 30, k=5, decay=0.8, rng=1)
+        errors = [np.linalg.norm(a - best_rank_k(a, k)) for k in (1, 3, 5)]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_k_above_rank_is_clamped(self):
+        a = np.ones((4, 3))
+        approx = best_rank_k(a, 10)
+        assert np.allclose(approx, a)
+
+
+class TestSketchedLowRank:
+    def test_near_optimal_error(self):
+        n, c, k = 256, 40, 4
+        a = lowrank_matrix(n, c, k, decay=0.4, rng=0)
+        fam = GaussianSketch(m=80, n=n)
+        res = sketched_low_rank(a, k, fam, rng=1)
+        assert res.ratio is not None
+        assert res.ratio <= 1.5
+
+    def test_metadata(self):
+        a = lowrank_matrix(128, 20, 3, rng=2)
+        res = sketched_low_rank(a, 3, GaussianSketch(m=40, n=128), rng=3)
+        assert res.m == 40
+        assert res.approximation.shape == a.shape
+        assert np.linalg.matrix_rank(res.approximation) <= 3
+
+    def test_dimension_mismatch_raises(self):
+        a = lowrank_matrix(64, 10, 2, rng=4)
+        with pytest.raises(ValueError):
+            sketched_low_rank(a, 2, GaussianSketch(m=16, n=128))

@@ -1,0 +1,44 @@
+"""Tests for the ``python -m repro.experiments`` command-line interface."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_listing(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E14" in out
+        assert "claim:" in out
+
+    def test_run_single(self, capsys):
+        assert main(["E5", "--scale", "0.2", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "E5" in out
+        assert "min_margin" in out
+
+    def test_lowercase_id_accepted(self, capsys):
+        assert main(["e5", "--scale", "0.2"]) == 0
+        assert "E5" in capsys.readouterr().out
+
+    def test_unknown_id_fails(self, capsys):
+        assert main(["E99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            main(["E5", "--scale", "0"])
+
+
+class TestCliJson:
+    def test_json_dir_written(self, tmp_path, capsys):
+        assert main(["E5", "--scale", "0.2",
+                     "--json-dir", str(tmp_path)]) == 0
+        saved = tmp_path / "E5.json"
+        assert saved.exists()
+        import json
+
+        payload = json.loads(saved.read_text())
+        assert payload["experiment_id"] == "E5"

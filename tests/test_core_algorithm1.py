@@ -1,0 +1,171 @@
+"""Tests for repro.core.algorithm1 (the greedy pair finder)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm1 import (
+    GreedyPairFinder,
+    run_algorithm1,
+    run_algorithm2,
+)
+from repro.core.heavy import good_columns
+from repro.hardinstances.dbeta import DBeta
+from repro.sketch.hadamard_block import HadamardBlockSketch
+
+
+def abundant_pi(m=64, n=512, block=4, seed=0):
+    """A block-Hadamard matrix: every column good, collisions structured."""
+    fam = HadamardBlockSketch(m=m, n=n, block_order=block, permute=True)
+    return fam.sample(seed).matrix
+
+
+class TestGreedyPairFinderValidation:
+    def test_rejects_bad_theta(self):
+        with pytest.raises(ValueError):
+            GreedyPairFinder(np.eye(4), [0], [0, 1], theta=0.0,
+                             phi_threshold=0.5, iterations=1)
+
+    def test_rejects_bad_phi(self):
+        with pytest.raises(ValueError):
+            GreedyPairFinder(np.eye(4), [0], [0, 1], theta=0.5,
+                             phi_threshold=0.0, iterations=1)
+
+    def test_rejects_chosen_outside_good(self):
+        with pytest.raises(ValueError):
+            GreedyPairFinder(np.eye(4), [3], [0, 1], theta=0.5,
+                             phi_threshold=0.5, iterations=1)
+
+
+class TestGreedyPairFinderBehaviour:
+    def test_finds_identical_column_pair(self):
+        # Two chosen columns are identical: they must collide, and with
+        # phi small the greedy branch pairs them.
+        pi = np.zeros((8, 6))
+        pi[0, 0] = pi[0, 1] = 1.0  # identical heavy columns 0, 1
+        pi[1, 2], pi[2, 3], pi[3, 4], pi[4, 5] = 1.0, 1.0, 1.0, 1.0
+        finder = GreedyPairFinder(
+            pi, chosen_columns=[0, 1, 2], good_set=list(range(6)),
+            theta=0.5, phi_threshold=0.9, iterations=3, rng=0,
+        )
+        result = finder.run()
+        assert (0, 1) in result.pairs or (1, 0) in result.pairs
+
+    def test_no_collisions_yields_no_pairs(self):
+        pi = np.eye(8)
+        finder = GreedyPairFinder(
+            pi, chosen_columns=[0, 1, 2], good_set=list(range(8)),
+            theta=0.5, phi_threshold=0.9, iterations=3, rng=0,
+        )
+        result = finder.run()
+        assert result.pairs == []
+        kinds = {e.kind for e in result.events}
+        assert "no_collision" in kinds
+
+    def test_pairs_are_disjoint(self):
+        pi = abundant_pi()
+        inst = DBeta(n=512, d=32, reps=1)
+        draw = inst.sample_draw(1)
+        theta = math.sqrt(8.0 / 32.0)
+        good = good_columns(pi, 1 / 32, theta, 2)
+        good_set = set(int(c) for c in good)
+        chosen = [c for c in draw.rows if int(c) in good_set]
+        result = run_algorithm1(pi, chosen, good, 1 / 32, d=32, rng=2)
+        used = [c for pair in result.pairs for c in pair]
+        assert len(used) == len(set(used))
+
+    def test_event_bookkeeping(self):
+        pi = abundant_pi()
+        inst = DBeta(n=512, d=32, reps=1)
+        draw = inst.sample_draw(3)
+        theta = math.sqrt(8.0 / 32.0)
+        good = good_columns(pi, 1 / 32, theta, 2)
+        good_set = set(int(c) for c in good)
+        chosen = [c for c in draw.rows if int(c) in good_set]
+        result = run_algorithm1(pi, chosen, good, 1 / 32, d=32, rng=4)
+        assert result.heavy_break_count + result.phi_break_count == \
+            max(1, 32 // 16)
+        assert result.final_good_count >= 0
+        assert result.final_surviving <= len(chosen)
+
+    def test_deterministic_given_rng(self):
+        pi = abundant_pi()
+        inst = DBeta(n=512, d=32, reps=1)
+        draw = inst.sample_draw(5)
+        theta = math.sqrt(8.0 / 32.0)
+        good = good_columns(pi, 1 / 32, theta, 2)
+        good_set = set(int(c) for c in good)
+        chosen = [c for c in draw.rows if int(c) in good_set]
+        r1 = run_algorithm1(pi, chosen, good, 1 / 32, d=32, rng=7)
+        r2 = run_algorithm1(pi, chosen, good, 1 / 32, d=32, rng=7)
+        assert r1.pairs == r2.pairs
+
+
+class TestRunAlgorithm2:
+    def test_runs_with_levels(self):
+        pi = abundant_pi()
+        inst = DBeta(n=512, d=32, reps=2)
+        draw = inst.sample_draw(0)
+        theta_level = 1  # heavy threshold sqrt(1/2)
+        good = good_columns(pi, 1 / 32, math.sqrt(0.5), 1)
+        good_set = set(int(c) for c in good)
+        chosen = [c for c in draw.rows if int(c) in good_set]
+        if len(chosen) >= 2:
+            result = run_algorithm2(
+                pi, chosen, good, epsilon=1 / 32, d=32, level=theta_level,
+                level_prime=1, delta_prime=0.3, rng=1,
+            )
+            assert result.heavy_break_count + result.phi_break_count >= 1
+
+    def test_validates_levels(self):
+        with pytest.raises(ValueError):
+            run_algorithm2(np.eye(4), [0], [0], epsilon=0.05, d=4,
+                           level=-1, level_prime=0, delta_prime=0.3)
+
+
+class TestHeavyRowBranch:
+    """The Lemma 12 branch: a dominant heavy row triggers the
+    while-loop's S'_k break and a same-row pair output."""
+
+    def _dominant_row_pi(self, n=48, heavy_cols=24):
+        # Row 0 is heavy in half the columns: phi is large for them.
+        pi = np.zeros((heavy_cols + 8, n))
+        theta = 0.9
+        for j in range(heavy_cols):
+            pi[0, j] = theta
+            pi[1 + j % 4, j] = np.sqrt(1 - theta * theta)
+        for j in range(heavy_cols, n):
+            pi[5 + (j % (pi.shape[0] - 5)), j] = 1.0
+        return pi
+
+    def test_heavy_break_produces_same_row_pair(self):
+        pi = self._dominant_row_pi()
+        chosen = list(range(8))  # all heavy in row 0
+        finder = GreedyPairFinder(
+            pi, chosen_columns=chosen, good_set=list(range(48)),
+            theta=0.8, phi_threshold=0.01, iterations=2, rng=0,
+        )
+        result = finder.run()
+        assert result.heavy_break_count >= 1
+        assert result.pairs, "expected a pair from the heavy row"
+        kinds = {e.kind for e in result.events}
+        assert "pair_heavy_row" in kinds
+        # Both members of the pair are heavy in row 0.
+        ci, cj = result.pairs[0]
+        assert abs(pi[0, ci]) >= 0.8
+        assert abs(pi[0, cj]) >= 0.8
+
+    def test_single_heavy_survivor_retires_row(self):
+        pi = self._dominant_row_pi()
+        # Only one chosen column is heavy in row 0; the branch must
+        # retire the row (output (l, bot)) instead of pairing.
+        chosen = [0, 30, 31]
+        finder = GreedyPairFinder(
+            pi, chosen_columns=chosen, good_set=list(range(48)),
+            theta=0.8, phi_threshold=0.01, iterations=1, rng=1,
+        )
+        result = finder.run()
+        kinds = [e.kind for e in result.events]
+        assert "row_removed" in kinds
+        assert all(k != "pair_heavy_row" for k in kinds)

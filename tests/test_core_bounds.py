@@ -1,0 +1,127 @@
+"""Tests for repro.core.bounds."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    compare_lower_bounds,
+    delta_prime,
+    dense_lower_bound,
+    max_sparsity_for_quadratic,
+    nn13b_lower_bound,
+    nn14_sparse_lower_bound,
+    quadratic_regime_threshold,
+    theorem8_lower_bound,
+    theorem8_n,
+    theorem9_lower_bound,
+    theorem18_lower_bound,
+    theorem18_n,
+    theorem20_lower_bound,
+)
+
+
+class TestFormulas:
+    def test_theorem8_value(self):
+        assert theorem8_lower_bound(10, 0.1, 0.1) == pytest.approx(
+            100 / (0.01 * 0.1)
+        )
+
+    def test_theorem8_rejects_eps_at_eighth(self):
+        with pytest.raises(ValueError):
+            theorem8_lower_bound(10, 0.125, 0.1)
+
+    def test_theorem8_n_at_least_d(self):
+        assert theorem8_n(10, 0.1, 0.1) >= 10
+
+    def test_theorem9(self):
+        assert theorem9_lower_bound(12) == 144.0
+
+    def test_theorem18_smaller_than_d2(self):
+        value = theorem18_lower_bound(100, 0.01, 0.05)
+        assert 0 < value < 100 * 100
+
+    def test_theorem18_n(self):
+        assert theorem18_n(10, 0.1, 0.1) >= 10
+
+    def test_theorem20_decreasing_in_s(self):
+        values = [theorem20_lower_bound(64, s, 0.05) for s in (2, 4, 8)]
+        assert values == sorted(values, reverse=True)
+
+    def test_nn13b(self):
+        assert nn13b_lower_bound(7) == 49.0
+
+    def test_nn14(self):
+        assert nn14_sparse_lower_bound(10, 0.1) == pytest.approx(1.0)
+
+    def test_dense_bound(self):
+        value = dense_lower_bound(10, 0.1, math.exp(-1))
+        assert value == pytest.approx((10 + 1) / 0.01)
+
+    def test_delta_prime_positive_for_small_eps(self):
+        assert delta_prime(1e-3) > 0
+
+    def test_max_sparsity(self):
+        assert max_sparsity_for_quadratic(1 / 90) == 10
+        assert max_sparsity_for_quadratic(1 / 9.5) == 1
+
+
+class TestRegimeThresholds:
+    def test_theorem18_threshold_below_nn14(self):
+        thresholds = quadratic_regime_threshold(0.01, 0.05)
+        assert thresholds["theorem18"] < thresholds["nn14"]
+
+    def test_nn14_threshold_is_eps_minus_4(self):
+        thresholds = quadratic_regime_threshold(0.1, 0.05)
+        assert thresholds["nn14"] == pytest.approx(1e4)
+
+
+class TestCompareLowerBounds:
+    def test_s1_includes_theorem8(self):
+        comp = compare_lower_bounds(100, 0.05, 0.1, s=1)
+        assert "theorem8" in comp.bounds
+        assert "nn13b" in comp.bounds
+        assert "dense" in comp.bounds
+
+    def test_sparse_bounds_require_constraint(self):
+        comp = compare_lower_bounds(100, 0.05, 0.1, s=5)
+        # 1/(9*0.05) = 2.22 < 5: sparse theorems do not apply.
+        assert "theorem18" not in comp.bounds
+        assert "nn14" not in comp.bounds
+
+    def test_sparse_bounds_apply_when_sparse_enough(self):
+        comp = compare_lower_bounds(100, 0.01, 0.1, s=5)
+        assert "theorem18" in comp.bounds
+        assert "theorem20" in comp.bounds
+
+    def test_dominant_is_max(self):
+        comp = compare_lower_bounds(1000, 0.05, 0.05, s=1)
+        assert comp.bounds[comp.dominant] == max(comp.bounds.values())
+
+    def test_theorem8_dominates_for_small_delta_s1(self):
+        comp = compare_lower_bounds(100, 0.05, 0.01, s=1)
+        assert comp.dominant == "theorem8"
+
+    def test_dense_is_only_bound_for_large_s(self):
+        # s = 50 violates every sparsity precondition at eps = 0.05.
+        comp = compare_lower_bounds(1, 0.05, 0.3, s=50)
+        assert comp.dominant == "dense"
+        assert set(comp.bounds) == {"dense"}
+
+    def test_str_contains_dominant(self):
+        comp = compare_lower_bounds(64, 0.05, 0.1, s=1)
+        assert comp.dominant in str(comp)
+
+    @given(
+        d=st.integers(min_value=1, max_value=10**6),
+        inv_eps=st.integers(min_value=9, max_value=500),
+        s=st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=60)
+    def test_theorem18_beats_nn14_when_both_apply(self, d, inv_eps, s):
+        """The paper's claim: eps^{K1 delta} >> eps^2 for small delta."""
+        comp = compare_lower_bounds(d, 1.0 / inv_eps, 0.01, s=s)
+        if "theorem18" in comp.bounds and "nn14" in comp.bounds:
+            assert comp.bounds["theorem18"] >= comp.bounds["nn14"] * 0.9

@@ -1,0 +1,153 @@
+"""Tests for repro.core.collisions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.collisions import (
+    birthday_collision_probability,
+    birthday_lower_bound_m,
+    bucket_counts,
+    collide,
+    colliding_pairs,
+    collision_count_matrix,
+    collision_summary,
+    has_bucket_collision,
+    shared_heavy_rows,
+)
+from repro.sketch.countsketch import CountSketch
+
+
+@pytest.fixture
+def pi():
+    # Columns 0 and 1 share heavy row 0; column 2 isolated; column 3
+    # shares rows 1 and 2 with column 4.
+    return np.array([
+        [1.0, -1.0, 0.0, 0.0, 0.0],
+        [0.0, 0.0, 1.0, 0.9, 0.8],
+        [0.0, 0.0, 0.0, 0.7, -0.9],
+    ])
+
+
+class TestSharedHeavyRows:
+    def test_single_shared_row(self, pi):
+        assert list(shared_heavy_rows(pi, 0, 1, 0.5)) == [0]
+
+    def test_two_shared_rows(self, pi):
+        assert list(shared_heavy_rows(pi, 3, 4, 0.5)) == [1, 2]
+
+    def test_no_shared_rows(self, pi):
+        assert shared_heavy_rows(pi, 0, 2, 0.5).size == 0
+
+    def test_collide_predicate(self, pi):
+        assert collide(pi, 0, 1, 0.5)
+        assert not collide(pi, 0, 2, 0.5)
+
+
+class TestCollisionCountMatrix:
+    def test_counts(self, pi):
+        counts = collision_count_matrix(pi, 0.5).toarray()
+        assert counts[0, 1] == 1
+        assert counts[3, 4] == 2
+        assert counts[0, 2] == 0
+        assert counts[0, 0] == 1  # own heavy count on the diagonal
+
+    def test_column_restriction(self, pi):
+        counts = collision_count_matrix(pi, 0.5, columns=[3, 4]).toarray()
+        assert counts.shape == (2, 2)
+        assert counts[0, 1] == 2
+
+    def test_colliding_pairs(self, pi):
+        assert colliding_pairs(pi, 0.5) == [(0, 1), (2, 3), (2, 4), (3, 4)]
+
+    def test_summary(self, pi):
+        summary = collision_summary(pi, 0.5)
+        assert summary.columns == 5
+        assert summary.colliding_pairs == 4
+        assert summary.max_shared_rows == 2
+        assert summary.mean_shared_rows == pytest.approx((1 + 1 + 1 + 2) / 4)
+
+    def test_summary_no_collisions(self):
+        summary = collision_summary(np.eye(3), 0.5)
+        assert summary.colliding_pairs == 0
+        assert summary.mean_shared_rows == 0.0
+
+
+class TestBucketCounts:
+    def test_counting(self):
+        pi = np.zeros((4, 6))
+        pi[0, 0] = pi[0, 1] = 1.0  # two chosen columns in bucket 0
+        pi[2, 2] = -1.0
+        pi[3, 3] = 0.5  # out of [low, high]
+        counts = bucket_counts(pi, [0, 1, 2, 3], 0.9, 1.1)
+        assert list(counts) == [2, 0, 1, 0]
+
+    def test_has_bucket_collision(self):
+        pi = np.zeros((2, 3))
+        pi[0, 0] = pi[0, 1] = 1.0
+        assert has_bucket_collision(pi, [0, 1], 0.9, 1.1)
+        assert not has_bucket_collision(pi, [0, 2], 0.9, 1.1)
+
+    def test_countsketch_bucket_counts_sum(self):
+        sketch = CountSketch(m=16, n=40).sample(0)
+        counts = bucket_counts(sketch.matrix, list(range(40)), 0.9, 1.1)
+        assert counts.sum() == 40
+
+
+class TestBirthdayFormulas:
+    def test_exact_small_case(self):
+        # Two throws into m buckets collide with probability 1/m.
+        assert birthday_collision_probability(2, 10) == pytest.approx(0.1)
+
+    def test_q_exceeding_m(self):
+        assert birthday_collision_probability(11, 10) == 1.0
+
+    def test_monotone_in_q(self):
+        probs = [birthday_collision_probability(q, 100) for q in (2, 5, 10)]
+        assert probs == sorted(probs)
+
+    def test_monotone_decreasing_in_m(self):
+        probs = [birthday_collision_probability(10, m) for m in (50, 200, 1000)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_classic_birthday(self):
+        # 23 people, 365 days: ~50.7%.
+        assert birthday_collision_probability(23, 365) == pytest.approx(
+            0.5073, abs=1e-3
+        )
+
+    def test_lower_bound_m_consistency(self):
+        # At the returned m, the collision probability is close to delta.
+        q, delta = 20, 0.2
+        m = int(birthday_lower_bound_m(q, delta))
+        prob = birthday_collision_probability(q, m)
+        assert prob == pytest.approx(delta, abs=0.05)
+
+    def test_lower_bound_single_throw(self):
+        assert birthday_lower_bound_m(1, 0.5) == 1.0
+
+    @given(
+        q=st.integers(min_value=2, max_value=60),
+        m=st.integers(min_value=2, max_value=5000),
+    )
+    @settings(max_examples=50)
+    def test_probability_in_unit_interval(self, q, m):
+        p = birthday_collision_probability(q, m)
+        assert 0.0 <= p <= 1.0
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_empirical_birthday_agreement(self, seed):
+        rng = np.random.default_rng(seed)
+        q, m = 8, 64
+        trials = 300
+        hits = sum(
+            1 for _ in range(trials)
+            if len(set(rng.integers(0, m, size=q).tolist())) < q
+        )
+        empirical = hits / trials
+        predicted = birthday_collision_probability(q, m)
+        assert abs(empirical - predicted) < 0.12

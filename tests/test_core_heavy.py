@@ -1,0 +1,117 @@
+"""Tests for repro.core.heavy."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.heavy import (
+    average_heavy_count,
+    column_mass_check,
+    good_columns,
+    heavy_budget_profile,
+    heavy_counts_per_column,
+    heavy_mask,
+)
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.osnap import OSNAP
+
+
+@pytest.fixture
+def matrix():
+    return np.array([
+        [0.9, 0.1, 0.0],
+        [0.0, 0.5, 0.8],
+        [0.3, 0.0, 0.6],
+    ])
+
+
+class TestHeavyMask:
+    def test_dense(self, matrix):
+        mask = heavy_mask(matrix, 0.5).toarray()
+        expected = np.abs(matrix) >= 0.5
+        assert np.array_equal(mask, expected)
+
+    def test_sparse_matches_dense(self, matrix):
+        sparse = heavy_mask(sp.csc_matrix(matrix), 0.5).toarray()
+        dense = heavy_mask(matrix, 0.5).toarray()
+        assert np.array_equal(sparse, dense)
+
+    def test_does_not_mutate_input(self):
+        a = sp.csc_matrix(np.array([[0.5, 0.2], [0.1, 0.9]]))
+        before = a.toarray().copy()
+        heavy_mask(a, 1.0)  # no entries heavy: triggers eliminate_zeros
+        assert np.array_equal(a.toarray(), before)
+
+    def test_threshold_must_be_positive(self, matrix):
+        with pytest.raises(ValueError):
+            heavy_mask(matrix, 0.0)
+
+
+class TestHeavyCounts:
+    def test_counts(self, matrix):
+        counts = heavy_counts_per_column(matrix, 0.5)
+        assert list(counts) == [1, 1, 2]
+
+    def test_average(self, matrix):
+        assert average_heavy_count(matrix, 0.5) == pytest.approx(4 / 3)
+
+    def test_countsketch_has_one_heavy_entry(self):
+        sketch = CountSketch(m=64, n=100).sample(0)
+        assert average_heavy_count(sketch.matrix, 0.5) == pytest.approx(1.0)
+
+    def test_osnap_has_s_heavy_entries(self):
+        sketch = OSNAP(m=64, n=100, s=4).sample(0)
+        assert average_heavy_count(
+            sketch.matrix, 1.0 / np.sqrt(4)
+        ) == pytest.approx(4.0)
+
+
+class TestGoodColumns:
+    def test_requires_both_conditions(self):
+        # Column 0: one heavy entry, unit norm -> good at min_heavy=1.
+        # Column 1: unit norm but no heavy entries.
+        # Column 2: heavy entry but norm far from 1.
+        a = np.array([
+            [1.0, 0.5, 2.0],
+            [0.0, 0.5, 0.0],
+            [0.0, 0.5, 0.0],
+            [0.0, 0.5, 0.0],
+        ])
+        good = good_columns(a, epsilon=0.1, theta=0.9, min_heavy=1)
+        assert list(good) == [0]
+
+    def test_min_heavy_threshold(self):
+        a = np.eye(4)
+        assert list(good_columns(a, 0.1, 0.9, min_heavy=2)) == []
+
+
+class TestHeavyBudgetProfile:
+    def test_levels_and_thresholds(self):
+        sketch = CountSketch(m=64, n=50).sample(0)
+        profile = heavy_budget_profile(sketch.matrix, 1 / 32)
+        assert list(profile.levels) == [0, 1, 2]
+        assert profile.thresholds[0] == pytest.approx(1.0)
+        assert profile.averages[0] == pytest.approx(1.0)
+
+    def test_mass_bound_upper_bounds_norm(self):
+        for family in (
+            CountSketch(m=256, n=128),
+            OSNAP(m=256, n=128, s=4),
+        ):
+            sketch = family.sample(3)
+            profile = heavy_budget_profile(sketch.matrix, 1 / 32)
+            dense = sketch.dense()
+            avg_norm2 = float(np.mean(np.sum(dense**2, axis=0)))
+            total = profile.mass_upper_bound() + \
+                sketch.column_sparsity * 8.0 / 32.0
+            assert total >= avg_norm2 - 1e-9
+
+    def test_violations_empty_for_light_matrix(self):
+        a = np.full((4, 4), 1e-6)
+        profile = heavy_budget_profile(a, 1 / 32)
+        assert profile.violations().size == 0
+
+    def test_column_mass_check_positive(self):
+        sketch = OSNAP(m=128, n=64, s=2).sample(0)
+        value = column_mass_check(sketch.matrix, 1 / 32, sparsity=2)
+        assert value > 0

@@ -1,0 +1,171 @@
+"""Tests for repro.core.lemmas (Lemma 3, Fact 5, Lemma 14)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lemmas import (
+    KAPPA,
+    fact5_holds,
+    fact5_probabilities,
+    lemma3_bound,
+    lemma3_holds,
+    lemma3_probability,
+    lemma14_holds,
+    lemma14_probability,
+)
+
+
+def unit_rows(rng, size, dim):
+    g = rng.standard_normal((size, dim))
+    return g / np.linalg.norm(g, axis=1, keepdims=True)
+
+
+class TestLemma3:
+    def test_probability_exact_orthonormal(self):
+        # Orthonormal vectors: all off-diagonal products are 0 >= -3eps.
+        assert lemma3_probability(np.eye(4), 0.05) == 1.0
+
+    def test_antipodal_pair(self):
+        vectors = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        # Products: two +1 (diagonal), two -1. P = 1/2.
+        assert lemma3_probability(vectors, 0.05) == pytest.approx(0.5)
+
+    def test_bound(self):
+        assert lemma3_bound(0.05) == pytest.approx(0.1)
+
+    def test_rejects_vectors_outside_ball(self):
+        with pytest.raises(ValueError):
+            lemma3_probability(2 * np.eye(3), 0.05)
+
+    def test_rejects_large_epsilon(self):
+        with pytest.raises(ValueError):
+            lemma3_probability(np.eye(3), 0.2)
+
+    def test_simplex_is_nearly_tight(self):
+        # Simplex of size k: off-diagonal products -1/(k-1).  Choose k so
+        # -1/(k-1) < -3 eps: only the diagonal survives, P = 1/k > 2 eps.
+        epsilon = 0.05
+        k = 6
+        eye = np.eye(k)
+        centered = eye - 1.0 / k
+        vectors = centered / np.linalg.norm(centered, axis=1, keepdims=True)
+        prob = lemma3_probability(vectors, epsilon)
+        assert prob == pytest.approx(1.0 / k)
+        assert prob > lemma3_bound(epsilon)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        size=st.integers(min_value=1, max_value=40),
+        eps_scale=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_lemma3_holds_on_random_sets(self, seed, size, eps_scale):
+        """The lemma's conclusion on arbitrary random sets in the ball."""
+        rng = np.random.default_rng(seed)
+        epsilon = eps_scale / 100.0
+        vectors = unit_rows(rng, size, 8) * rng.random((size, 1))
+        assert lemma3_holds(vectors, epsilon)
+
+
+class TestFact5:
+    def test_symmetric_bounds(self):
+        upper, lower = fact5_probabilities(1.0, 0.5, 0.2, a=0.8)
+        assert upper >= 0.25
+        assert lower >= 0.25
+
+    def test_validates_ordering(self):
+        with pytest.raises(ValueError):
+            fact5_probabilities(0.1, 0.5, 0.2, a=0.05)
+
+    def test_validates_x1_at_least_a(self):
+        with pytest.raises(ValueError):
+            fact5_probabilities(1.0, 0.5, 0.2, a=2.0)
+
+    def test_negative_a_rejected(self):
+        with pytest.raises(ValueError):
+            fact5_probabilities(1.0, 0.5, 0.2, a=-1.0)
+
+    def test_holds_with_zeros(self):
+        assert fact5_holds(1.0, 0.0, 0.0, a=1.0)
+
+    @given(
+        x1=st.floats(min_value=-10, max_value=10),
+        x2=st.floats(min_value=-10, max_value=10),
+        x3=st.floats(min_value=-10, max_value=10),
+    )
+    @settings(max_examples=120)
+    def test_fact5_exhaustive(self, x1, x2, x3):
+        """Fact 5 for every real triple (sorted into the premise order)."""
+        values = sorted([x1, x2, x3], key=abs, reverse=True)
+        y1, y2, y3 = values
+        a = abs(y1)
+        upper, lower = fact5_probabilities(y1, y2, y3, a=a)
+        assert upper >= 0.25
+        assert lower >= 0.25
+
+
+class TestLemma14:
+    def _planted(self):
+        # Row 0 holds 4 heavy entries of magnitude 0.6; fill remaining
+        # mass to give each column norm 1.
+        a = np.zeros((5, 4))
+        a[0] = [0.6, 0.6, -0.6, 0.6]
+        for j in range(4):
+            a[j + 1, j] = 0.8
+        return a
+
+    def test_holds_on_planted_matrix(self):
+        a = self._planted()
+        result = lemma14_probability(a, row=0, theta=0.6, epsilon=0.05)
+        assert result.heavy_set_size == 4
+        assert result.holds
+        assert result.probability >= result.bound
+
+    def test_probability_counts_large_products(self):
+        a = self._planted()
+        result = lemma14_probability(a, row=0, theta=0.6, epsilon=0.05)
+        # Same-sign pairs give products >= 0.36 - kappa*eps; the exact
+        # count: entries (+,+,-,+): 3 positive, 1 negative => among 16
+        # ordered pairs, 10 have A_lu*A_lv = +0.36; diagonals also count.
+        assert 0.0 < result.probability <= 1.0
+
+    def test_empty_heavy_set_raises(self):
+        a = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            lemma14_probability(a, row=0, theta=0.5, epsilon=0.05)
+
+    def test_norm_precondition_enforced(self):
+        a = np.zeros((2, 2))
+        a[0] = [1.0, 1.0]
+        a[1] = [1.0, -1.0]  # squared norms 2 > 1 + theta^2
+        with pytest.raises(ValueError):
+            lemma14_probability(a, row=0, theta=0.9, epsilon=0.05)
+
+    def test_row_out_of_range(self):
+        with pytest.raises(IndexError):
+            lemma14_probability(np.eye(3), row=5, theta=0.5, epsilon=0.05)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        heavy_count=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_lemma14_on_random_planted_rows(self, seed, heavy_count):
+        """Lemma 14 on random matrices built to satisfy its premises."""
+        rng = np.random.default_rng(seed)
+        theta = 0.5
+        epsilon = 0.05
+        m = 6
+        a = np.zeros((m, heavy_count))
+        signs = rng.choice((-1.0, 1.0), size=heavy_count)
+        a[0] = signs * theta
+        # Spread the remaining norm over other rows, keeping norms <= 1.
+        for j in range(heavy_count):
+            rest = rng.standard_normal(m - 1)
+            rest *= np.sqrt(1.0 - theta**2) / np.linalg.norm(rest)
+            a[1:, j] = rest
+        assert lemma14_holds(a, row=0, theta=theta, epsilon=epsilon)

@@ -1,0 +1,98 @@
+"""Tests for repro.core.proofs (executable proof replays)."""
+
+import numpy as np
+import pytest
+
+from repro.core.proofs import ProofStep, replay_theorem8, replay_theorem9
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.hadamard_block import HadamardBlockSketch
+from repro.sketch.osnap import OSNAP
+
+
+class TestProofStep:
+    def test_str_shows_violation(self):
+        step = ProofStep(name="x", claim="c", measured=2.0,
+                         requirement=1.0, satisfied=False)
+        assert "VIOLATED" in str(step)
+
+    def test_str_shows_ok(self):
+        step = ProofStep(name="x", claim="c", measured=0.5,
+                         requirement=1.0, satisfied=True)
+        assert "ok" in str(step)
+
+
+class TestReplayTheorem8:
+    def test_undersized_countsketch_refuted(self):
+        pi = CountSketch(m=64, n=4096).sample(0).matrix
+        trace = replay_theorem8(pi, d=8, epsilon=1 / 16, delta=0.1,
+                                trials=40, rng=1)
+        assert trace.refuted
+        # The chain pins the violation: Lemma 7's collision budget (and
+        # hence the birthday requirement) cannot both hold at m = 64.
+        violated = {s.name for s in trace.steps if not s.satisfied}
+        assert violated & {"lemma7", "birthday"}
+        assert trace.empirical_failure.point > 0.5
+        assert "REFUTED" in trace.render()
+
+    def test_properly_sized_countsketch_consistent(self):
+        pi = CountSketch(m=20000, n=4096).sample(0).matrix
+        trace = replay_theorem8(pi, d=8, epsilon=1 / 16, delta=0.1,
+                                trials=40, rng=2)
+        assert not trace.refuted
+        assert trace.first_violation is None
+        assert trace.steps[-1].measured >= trace.required_m
+
+    def test_scaled_entries_flagged_by_lemma6(self):
+        pi = CountSketch(m=20000, n=2048).sample(3).matrix * 1.5
+        trace = replay_theorem8(pi, d=6, epsilon=1 / 16, delta=0.1,
+                                trials=30, rng=4)
+        lemma6 = next(s for s in trace.steps if s.name == "lemma6")
+        assert not lemma6.satisfied
+        assert trace.refuted
+
+    def test_delta_constraint_enforced(self):
+        pi = CountSketch(m=64, n=256).sample(0).matrix
+        with pytest.raises(ValueError):
+            replay_theorem8(pi, d=4, epsilon=1 / 16, delta=0.2)
+
+    def test_render_contains_all_steps(self):
+        pi = CountSketch(m=256, n=1024).sample(5).matrix
+        trace = replay_theorem8(pi, d=4, epsilon=1 / 16, delta=0.1,
+                                trials=20, rng=6)
+        text = trace.render()
+        for name in ("model", "lemma6", "lemma7", "birthday"):
+            assert name in text
+
+
+class TestReplayTheorem9:
+    def test_sub_d2_hadamard_refuted(self):
+        # eps = 1/36 so the Remark 10 block order 4 = 1/(9 eps) is within
+        # the sparsity constraint.
+        pi = HadamardBlockSketch(m=64, n=2048, block_order=4).sample(0).matrix
+        trace = replay_theorem9(pi, d=16, epsilon=1 / 36, delta=0.1,
+                                trials=25, rng=1)
+        model = next(s for s in trace.steps if s.name == "model")
+        abundance = next(s for s in trace.steps if s.name == "abundance")
+        row_bound = next(s for s in trace.steps if s.name == "row_bound")
+        assert model.satisfied
+        assert abundance.satisfied
+        assert not row_bound.satisfied  # m = 64 < d^2 = 256
+        assert trace.refuted
+
+    def test_above_d2_hadamard_consistent(self):
+        pi = HadamardBlockSketch(
+            m=4096, n=2048, block_order=4
+        ).sample(1).matrix
+        trace = replay_theorem9(pi, d=8, epsilon=1 / 36, delta=0.25,
+                                trials=25, rng=2)
+        row_bound = next(s for s in trace.steps if s.name == "row_bound")
+        assert row_bound.satisfied
+        assert not trace.refuted
+
+    def test_non_abundant_pi_flagged(self):
+        # OSNAP with s=2 at eps = 1/36: abundance floor is 3 > 2.
+        pi = OSNAP(m=4096, n=2048, s=2).sample(0).matrix
+        trace = replay_theorem9(pi, d=8, epsilon=1 / 36, delta=0.2,
+                                trials=15, rng=3)
+        abundance = next(s for s in trace.steps if s.name == "abundance")
+        assert not abundance.satisfied

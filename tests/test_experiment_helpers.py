@@ -1,0 +1,102 @@
+"""Tests for the helper constructions inside experiment modules."""
+
+import numpy as np
+import pytest
+
+from repro.core.witness import escape_probability
+from repro.experiments.e03_column_norms import ScaledCountSketch
+from repro.experiments.e05_lemma3 import (
+    antipodal_set,
+    random_sphere_set,
+    shrunken_ball_set,
+    simplex_set,
+)
+from repro.experiments.e06_lemma4_witness import planted_pi_and_draw
+from repro.utils.rng import as_generator
+
+
+class TestScaledCountSketch:
+    def test_scaling_applied(self):
+        sketch = ScaledCountSketch(m=32, n=64, c=0.7).sample(0)
+        data = np.abs(sketch.dense().ravel())
+        nonzero = data[data > 0]
+        assert np.allclose(nonzero, 0.7)
+
+    def test_zero_c_rejected(self):
+        with pytest.raises(ValueError):
+            ScaledCountSketch(m=4, n=4, c=0.0)
+
+    def test_with_m_preserves_c(self):
+        fam = ScaledCountSketch(m=8, n=16, c=1.2).with_m(32)
+        assert fam.c == 1.2
+        assert fam.m == 32
+
+    def test_name(self):
+        assert "c=0.9" in ScaledCountSketch(m=4, n=4, c=0.9).name
+
+
+class TestLemma3Sets:
+    def test_simplex_inner_products(self):
+        size = 5
+        vectors = simplex_set(size)
+        gram = vectors @ vectors.T
+        off = gram[~np.eye(size, dtype=bool)]
+        assert np.allclose(off, -1.0 / (size - 1))
+        assert np.allclose(np.diag(gram), 1.0)
+
+    def test_simplex_size_validation(self):
+        with pytest.raises(ValueError):
+            simplex_set(1)
+
+    def test_antipodal_set_structure(self):
+        rng = as_generator(0)
+        vectors = antipodal_set(10, 6, rng)
+        assert vectors.shape == (10, 6)
+        assert np.allclose(vectors[:5], -vectors[5:])
+
+    def test_antipodal_requires_even(self):
+        with pytest.raises(ValueError):
+            antipodal_set(5, 4, as_generator(0))
+
+    def test_sphere_set_unit_norms(self):
+        vectors = random_sphere_set(12, 8, as_generator(1))
+        assert np.allclose(np.linalg.norm(vectors, axis=1), 1.0)
+
+    def test_ball_set_in_ball(self):
+        vectors = shrunken_ball_set(20, 8, as_generator(2))
+        norms = np.linalg.norm(vectors, axis=1)
+        assert np.all(norms <= 1.0 + 1e-12)
+
+
+class TestPlantedPiAndDraw:
+    @pytest.mark.parametrize("case", ["distinct", "same_block",
+                                      "distinct_noisy"])
+    def test_planted_inner_product(self, case):
+        lam, epsilon = 4.0, 0.05
+        pi, draw, p, q = planted_pi_and_draw(
+            case, lam, epsilon, n=256, d=6, rng=as_generator(0)
+        )
+        beta = 1.0 / draw.reps
+        c1 = pi[:, draw.rows[p]]
+        c2 = pi[:, draw.rows[q]]
+        assert float(c1 @ c2) == pytest.approx(lam * epsilon / beta)
+        assert np.linalg.norm(c1) == pytest.approx(1.0)
+        assert np.linalg.norm(c2) == pytest.approx(1.0)
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(ValueError):
+            planted_pi_and_draw("bogus", 3.0, 0.05, 64, 4,
+                                as_generator(0))
+
+    def test_overlarge_target_rejected(self):
+        with pytest.raises(ValueError):
+            # lam*eps/beta = 30*0.05*2 = 3 > 1 for same_block.
+            planted_pi_and_draw("same_block", 30.0, 0.05, 64, 4,
+                                as_generator(0))
+
+    def test_escape_wired_through(self):
+        pi, draw, p, q = planted_pi_and_draw(
+            "distinct", 6.0, 0.05, n=256, d=6, rng=as_generator(1)
+        )
+        est = escape_probability(pi, draw, p, q, 0.05)
+        assert est.point >= 0.25

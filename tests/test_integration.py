@@ -1,0 +1,182 @@
+"""Integration tests spanning hard instances, sketches and certification.
+
+These tests execute the paper's argument pipelines end to end on concrete
+matrices: Theorem 8's collision argument, Theorem 9's Algorithm-1-plus-
+Lemma-4 pipeline, the Remark 10 tightness example, and the Section 5 mass
+accounting — each as one scenario with all modules cooperating.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import theorem8_lower_bound
+from repro.core.certify import certify
+from repro.core.collisions import (
+    birthday_collision_probability,
+    has_bucket_collision,
+)
+from repro.core.tester import failure_estimate, minimal_m
+from repro.core.witness import lemma4_witness
+from repro.hardinstances.dbeta import DBeta
+from repro.hardinstances.mixtures import section3_mixture, section5_mixture
+from repro.linalg.distortion import distortion_of_product
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.gaussian import GaussianSketch
+from repro.sketch.hadamard_block import HadamardBlockSketch
+from repro.sketch.osnap import OSNAP
+from repro.utils.rng import spawn, as_generator
+
+
+class TestTheorem8Pipeline:
+    """Hard mixture -> CountSketch -> threshold near the birthday scale."""
+
+    def test_threshold_between_bounds(self):
+        d, eps, delta = 6, 1 / 16, 0.2
+        n = 4096
+        inst = section3_mixture(n=n, d=d, epsilon=eps)
+        fam = CountSketch(m=8, n=n)
+        search = minimal_m(fam, inst, eps, delta, trials=60, m_min=8, rng=0)
+        assert search.found
+        q = d * 2  # reps = 1/(8 eps) = 2
+        # Lower anchor: collisions alone force roughly q^2 buckets.
+        assert search.m_star > q * (q - 1) / 8
+        # Upper anchor: the classical upper bound (constant 2).
+        assert search.m_star < CountSketch.recommended_m(d, eps, delta)
+
+    def test_failure_caused_by_collision(self):
+        """On D_{8eps} draws, embedding failures coincide with bucket
+        collisions (Lemma 7's dichotomy)."""
+        eps = 1 / 16
+        n, d = 2048, 6
+        inst = DBeta(n=n, d=d, reps=2)
+        fam = CountSketch(m=256, n=n)
+        rng = as_generator(1)
+        agree = 0
+        total = 40
+        for _ in range(total):
+            sketch = fam.sample(spawn(rng))
+            draw = inst.sample_draw(spawn(rng))
+            failed = distortion_of_product(
+                draw.sketched_basis(sketch.matrix)
+            ) > eps
+            collided = has_bucket_collision(
+                sketch.matrix, draw.rows, 1 - eps, 1 + eps
+            )
+            if failed == collided:
+                agree += 1
+        assert agree >= total - 2
+
+
+class TestTheorem9Pipeline:
+    """Abundant Pi below d^2 rows is refuted via Algorithm 1 + Lemma 4."""
+
+    def test_sub_d2_hadamard_is_refuted(self):
+        eps = 1 / 32
+        n, d = 2048, 16
+        fam = HadamardBlockSketch(m=64, n=n, block_order=4)  # m << d^2
+        pi = fam.sample(0).matrix
+        inst = DBeta(n=n, d=d, reps=1)
+        cert = certify(pi, inst, eps, delta=0.1, trials=40,
+                       strategy="algorithm1", rng=1)
+        # The witness pipeline alone detects failure often enough to
+        # refute at delta = 0.1.
+        assert cert.failure.point > 0.1
+        assert cert.witness is not None
+        assert cert.witness.escape.point >= 0.25
+
+    def test_witness_agrees_with_svd(self):
+        eps = 1 / 32
+        n, d = 2048, 16
+        fam = HadamardBlockSketch(m=64, n=n, block_order=4)
+        pi = fam.sample(0).matrix
+        inst = DBeta(n=n, d=d, reps=1)
+        svd = certify(pi, inst, eps, delta=0.1, trials=40, rng=2)
+        alg = certify(pi, inst, eps, delta=0.1, trials=40,
+                      strategy="algorithm1", rng=2)
+        # Witness detection is sound: it cannot exceed the SVD rate by
+        # more than Monte-Carlo noise.
+        assert alg.failure.point <= svd.failure.point + 0.15
+
+
+class TestRemark10Tightness:
+    def test_large_m_embeds_small_m_fails(self):
+        eps = 1 / 16
+        n, d = 2048, 8
+        inst = DBeta(n=n, d=d, reps=1)
+        big = HadamardBlockSketch(m=8 * d * d, n=n, block_order=2)
+        small = HadamardBlockSketch(m=2 * d, n=n, block_order=2)
+        fail_big = failure_estimate(big, inst, eps, trials=40, rng=0)
+        fail_small = failure_estimate(small, inst, eps, trials=40, rng=1)
+        assert fail_big.point < 0.2
+        assert fail_small.point > 0.6
+
+    def test_failure_tracks_birthday(self):
+        eps = 1 / 16
+        n, d = 2048, 8
+        inst = DBeta(n=n, d=d, reps=1)
+        m = 2 * d * d
+        fam = HadamardBlockSketch(m=m, n=n, block_order=2)
+        est = failure_estimate(fam, inst, eps, trials=120, rng=2)
+        predicted = birthday_collision_probability(d, m)
+        assert abs(est.point - predicted) < 0.15
+
+
+class TestCrossFamilyConsistency:
+    """All oblivious families succeed on easy instances at proper m."""
+
+    @pytest.mark.parametrize("family_cls,kwargs", [
+        (CountSketch, {}),
+        (OSNAP, {"s": 4}),
+        (GaussianSketch, {}),
+    ])
+    def test_family_succeeds_at_recommended_m(self, family_cls, kwargs):
+        d, eps, delta = 4, 0.25, 0.25
+        n = 1024
+        m = min(n, family_cls.recommended_m(d, eps, delta)) \
+            if hasattr(family_cls, "recommended_m") else 512
+        fam = family_cls(m=max(m, kwargs.get("s", 1)), n=n, **kwargs)
+        inst = DBeta(n=n, d=d, reps=1)
+        est = failure_estimate(fam, inst, eps, trials=30, rng=0)
+        assert est.point <= 2 * delta
+
+    def test_theorem8_formula_anchors_the_search(self):
+        # The closed-form lower bound with constant 1/256 (the birthday
+        # constant for q = d/(8 eps) throws) sits below the empirical
+        # threshold, and the upper-bound formula above it.
+        d, eps, delta = 6, 1 / 16, 0.2
+        n = 4096
+        inst = section3_mixture(n=n, d=d, epsilon=eps)
+        search = minimal_m(
+            CountSketch(m=8, n=n), inst, eps, delta, trials=60,
+            m_min=8, rng=3,
+        )
+        lower = theorem8_lower_bound(d, eps, delta, constant=1 / 256)
+        assert lower * 0.3 < search.m_star
+
+
+class TestSection5MixtureBehaviour:
+    def test_osnap_fails_on_mixture_at_small_m(self):
+        eps = 1 / 32
+        d = 8
+        n = 4096
+        inst = section5_mixture(n=n, d=d, epsilon=eps)
+        fam = OSNAP(m=32, n=n, s=3)
+        est = failure_estimate(fam, inst, eps, trials=30, rng=0)
+        assert est.point > 0.5
+
+    def test_witness_extraction_from_failing_osnap(self):
+        eps = 1 / 32
+        n, d = 2048, 8
+        inst = DBeta(n=n, d=d, reps=1)
+        pi = OSNAP(m=24, n=n, s=2).sample(0).matrix
+        rng = as_generator(5)
+        found = 0
+        for seed in range(20):
+            draw = inst.sample_draw(spawn(rng))
+            report = lemma4_witness(pi, draw, eps, trials=256,
+                                    rng=spawn(rng))
+            if report is not None and report.escape.point >= 0.25:
+                found += 1
+        assert found >= 3

@@ -1,0 +1,159 @@
+"""Tests for repro.linalg.gram and repro.linalg.hadamard."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.gram import (
+    column_inner_product,
+    column_norms,
+    column_sparsities,
+    columns_with_norm_in,
+    gram_matrix,
+    max_column_sparsity,
+    offdiagonal_extreme,
+)
+from repro.linalg.hadamard import (
+    fwht,
+    hadamard_matrix,
+    is_hadamard,
+    next_power_of_two,
+)
+
+
+@pytest.fixture
+def sample_matrix():
+    return np.array([
+        [1.0, 0.0, 2.0],
+        [0.0, 3.0, 0.0],
+        [0.0, 4.0, 0.0],
+    ])
+
+
+class TestColumnNorms:
+    def test_dense(self, sample_matrix):
+        norms = column_norms(sample_matrix)
+        assert np.allclose(norms, [1.0, 5.0, 2.0])
+
+    def test_sparse_matches_dense(self, sample_matrix):
+        dense = column_norms(sample_matrix)
+        sparse = column_norms(sp.csc_matrix(sample_matrix))
+        assert np.allclose(dense, sparse)
+
+
+class TestColumnSparsities:
+    def test_dense(self, sample_matrix):
+        assert list(column_sparsities(sample_matrix)) == [1, 2, 1]
+
+    def test_sparse_with_stored_zero(self):
+        a = sp.csc_matrix(np.array([[1.0, 0.0], [0.0, 0.0]]))
+        a.data[0] = 1.0
+        assert list(column_sparsities(a)) == [1, 0]
+
+    def test_max(self, sample_matrix):
+        assert max_column_sparsity(sample_matrix) == 2
+
+
+class TestGram:
+    def test_gram_matches_definition(self, sample_matrix):
+        g = gram_matrix(sample_matrix)
+        assert np.allclose(g, sample_matrix.T @ sample_matrix)
+
+    def test_sparse_gram(self, sample_matrix):
+        g = gram_matrix(sp.csc_matrix(sample_matrix))
+        assert np.allclose(g, sample_matrix.T @ sample_matrix)
+
+    def test_column_inner_product(self, sample_matrix):
+        assert column_inner_product(sample_matrix, 0, 2) == pytest.approx(2.0)
+        sparse = sp.csc_matrix(sample_matrix)
+        assert column_inner_product(sparse, 0, 2) == pytest.approx(2.0)
+
+    def test_inner_product_out_of_range(self, sample_matrix):
+        with pytest.raises(IndexError):
+            column_inner_product(sample_matrix, 0, 5)
+
+    def test_offdiagonal_extreme(self, sample_matrix):
+        value, (i, j) = offdiagonal_extreme(sample_matrix)
+        assert (i, j) == (0, 2)
+        assert value == pytest.approx(2.0)
+
+    def test_offdiagonal_needs_two_columns(self):
+        with pytest.raises(ValueError):
+            offdiagonal_extreme(np.ones((3, 1)))
+
+
+class TestColumnsWithNormIn:
+    def test_selects_expected(self, sample_matrix):
+        idx = columns_with_norm_in(sample_matrix, 0.5, 2.5)
+        assert list(idx) == [0, 2]
+
+    def test_bad_range_raises(self, sample_matrix):
+        with pytest.raises(ValueError):
+            columns_with_norm_in(sample_matrix, 2.0, 1.0)
+
+
+class TestHadamard:
+    @pytest.mark.parametrize("order", [1, 2, 4, 8, 16])
+    def test_hadamard_property(self, order):
+        assert is_hadamard(hadamard_matrix(order))
+
+    def test_non_power_of_two_raises(self):
+        with pytest.raises(ValueError):
+            hadamard_matrix(6)
+
+    def test_is_hadamard_rejects_non_pm1(self):
+        assert not is_hadamard(np.eye(4))
+
+    def test_is_hadamard_rejects_rectangular(self):
+        assert not is_hadamard(np.ones((2, 4)))
+
+
+class TestFWHT:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 32])
+    def test_matches_dense_transform(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal(n)
+        assert np.allclose(fwht(x), hadamard_matrix(n) @ x)
+
+    def test_matrix_input(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((16, 5))
+        assert np.allclose(fwht(x), hadamard_matrix(16) @ x)
+
+    def test_involution_up_to_n(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(8)
+        assert np.allclose(fwht(fwht(x)), 8 * x)
+
+    def test_input_not_mutated(self):
+        x = np.ones(8)
+        fwht(x)
+        assert np.allclose(x, 1.0)
+
+    def test_non_power_of_two_raises(self):
+        with pytest.raises(ValueError):
+            fwht(np.ones(6))
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25)
+    def test_norm_scaling(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(32)
+        # Unnormalized transform scales norms by sqrt(n).
+        assert np.linalg.norm(fwht(x)) == pytest.approx(
+            np.sqrt(32) * np.linalg.norm(x)
+        )
+
+
+class TestNextPowerOfTwo:
+    @pytest.mark.parametrize("n,expected", [
+        (1, 1), (2, 2), (3, 4), (5, 8), (17, 32), (1024, 1024),
+    ])
+    def test_values(self, n, expected):
+        assert next_power_of_two(n) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)

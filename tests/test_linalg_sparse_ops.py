@@ -1,0 +1,105 @@
+"""Tests for repro.linalg.sparse_ops."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg.sparse_ops import (
+    columns_as_csc,
+    densify,
+    from_triplets,
+    nnz,
+    sketch_apply_cost,
+)
+
+
+class TestFromTriplets:
+    def test_basic_construction(self):
+        a = from_triplets([0, 1], [0, 1], [2.0, 3.0], (2, 2))
+        assert np.allclose(a.toarray(), [[2.0, 0.0], [0.0, 3.0]])
+
+    def test_duplicates_sum(self):
+        a = from_triplets([0, 0], [0, 0], [1.0, 2.0], (1, 1))
+        assert a[0, 0] == pytest.approx(3.0)
+
+    def test_out_of_range_row_raises(self):
+        with pytest.raises(ValueError):
+            from_triplets([5], [0], [1.0], (2, 2))
+
+    def test_out_of_range_col_raises(self):
+        with pytest.raises(ValueError):
+            from_triplets([0], [9], [1.0], (2, 2))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            from_triplets([0, 1], [0], [1.0], (2, 2))
+
+    def test_result_is_csc(self):
+        a = from_triplets([0], [0], [1.0], (3, 3))
+        assert sp.issparse(a)
+        assert a.format == "csc"
+
+
+class TestNnz:
+    def test_dense(self):
+        assert nnz(np.array([[1.0, 0.0], [0.0, 2.0]])) == 2
+
+    def test_sparse(self):
+        a = sp.csc_matrix(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        assert nnz(a) == 2
+
+    def test_sparse_with_explicit_zero(self):
+        a = sp.csc_matrix(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        a.data[0] = 0.0  # stored explicit zero
+        assert nnz(a) == 1
+
+
+class TestSketchApplyCost:
+    def test_countsketch_cost_equals_nnz(self):
+        # s = 1 per column: cost = nnz(A).
+        pi = from_triplets([0, 1, 0], [0, 1, 2], [1.0, -1.0, 1.0], (2, 3))
+        a = np.array([[1.0, 0.0], [2.0, 3.0], [0.0, 4.0]])
+        assert sketch_apply_cost(pi, a) == 4  # nnz(a)
+
+    def test_s_nonzeros_scales_cost(self):
+        rows = [0, 1, 0, 1, 0, 1]
+        cols = [0, 0, 1, 1, 2, 2]
+        pi = from_triplets(rows, cols, np.ones(6), (2, 3))
+        a = np.ones((3, 2))
+        assert sketch_apply_cost(pi, a) == 2 * 6
+
+    def test_dense_sketch(self):
+        pi = np.ones((4, 3))
+        a = np.ones((3, 2))
+        assert sketch_apply_cost(pi, a) == 4 * 6
+
+    def test_sparse_input_matrix(self):
+        pi = np.ones((2, 3))
+        a = sp.csr_matrix(np.array([[1.0, 0.0], [0.0, 0.0], [0.0, 2.0]]))
+        assert sketch_apply_cost(pi, a) == 2 * 2
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            sketch_apply_cost(np.ones((2, 3)), np.ones((4, 2)))
+
+
+class TestDensify:
+    def test_dense_passthrough(self):
+        a = np.ones((2, 2))
+        assert densify(a).shape == (2, 2)
+
+    def test_sparse_densified(self):
+        a = sp.eye(3, format="csc")
+        out = densify(a)
+        assert isinstance(out, np.ndarray)
+        assert np.allclose(out, np.eye(3))
+
+
+class TestColumnsAsCsc:
+    def test_from_dense(self):
+        out = columns_as_csc(np.eye(3))
+        assert out.format == "csc"
+
+    def test_from_csr(self):
+        out = columns_as_csc(sp.eye(3, format="csr"))
+        assert out.format == "csc"

@@ -1,0 +1,124 @@
+"""Tests for repro.linalg.subspace."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.subspace import (
+    coherent_subspace,
+    is_isometry,
+    orthonormal_basis,
+    random_subspace,
+    spanning_isometry,
+    subspace_angle,
+)
+
+
+class TestOrthonormalBasis:
+    def test_result_is_isometry(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((20, 5))
+        q = orthonormal_basis(a)
+        assert is_isometry(q)
+
+    def test_preserves_column_space(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((15, 3))
+        q = orthonormal_basis(a)
+        # Every column of a must lie in range(q): projection is identity.
+        proj = q @ (q.T @ a)
+        assert np.allclose(proj, a)
+
+    def test_rejects_dependent_columns(self):
+        a = np.ones((10, 2))
+        with pytest.raises(ValueError):
+            orthonormal_basis(a)
+
+    def test_rejects_wide_matrix(self):
+        with pytest.raises(ValueError):
+            orthonormal_basis(np.ones((2, 5)))
+
+
+class TestIsIsometry:
+    def test_identity(self):
+        assert is_isometry(np.eye(4))
+
+    def test_scaled_identity_fails(self):
+        assert not is_isometry(2 * np.eye(4))
+
+    def test_rectangular_isometry(self):
+        u = np.zeros((6, 2))
+        u[0, 0] = u[3, 1] = 1.0
+        assert is_isometry(u)
+
+    def test_wide_matrix_fails(self):
+        assert not is_isometry(np.ones((2, 5)))
+
+
+class TestRandomSubspace:
+    def test_is_isometry(self):
+        assert is_isometry(random_subspace(30, 7, rng=0))
+
+    def test_deterministic(self):
+        a = random_subspace(20, 4, rng=5)
+        b = random_subspace(20, 4, rng=5)
+        assert np.allclose(a, b)
+
+    def test_d_exceeding_n_raises(self):
+        with pytest.raises(ValueError):
+            random_subspace(3, 5)
+
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20)
+    def test_isometry_property(self, d):
+        u = random_subspace(32, d, rng=d)
+        assert is_isometry(u)
+
+
+class TestCoherentSubspace:
+    def test_one_nonzero_per_column(self):
+        u = coherent_subspace(20, 5, rng=0)
+        assert np.all(np.count_nonzero(u, axis=0) == 1)
+
+    def test_is_isometry(self):
+        assert is_isometry(coherent_subspace(50, 10, rng=1))
+
+    def test_distinct_rows(self):
+        u = coherent_subspace(30, 8, rng=2)
+        rows = np.nonzero(u)[0]
+        assert len(set(rows)) == 8
+
+
+class TestSpanningIsometry:
+    def test_disjoint_supports_give_isometry(self):
+        rows = np.array([[0, 2], [1, 3]])
+        signs = np.array([[1.0, -1.0], [-1.0, 1.0]])
+        u = spanning_isometry(rows, signs, n=6, scale=1 / np.sqrt(2))
+        assert is_isometry(u)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            spanning_isometry(np.zeros((2, 2), dtype=int),
+                              np.zeros((3, 2)), n=5, scale=1.0)
+
+
+class TestSubspaceAngle:
+    def test_same_subspace_zero(self):
+        u = random_subspace(20, 3, rng=0)
+        assert subspace_angle(u, u) == pytest.approx(0.0, abs=1e-6)
+
+    def test_orthogonal_subspaces(self):
+        u = np.zeros((4, 1))
+        v = np.zeros((4, 1))
+        u[0, 0] = 1.0
+        v[1, 0] = 1.0
+        assert subspace_angle(u, v) == pytest.approx(np.pi / 2)
+
+    def test_requires_isometries(self):
+        with pytest.raises(ValueError):
+            subspace_angle(2 * np.eye(3), np.eye(3))
+
+    def test_ambient_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            subspace_angle(np.eye(3), np.eye(4))

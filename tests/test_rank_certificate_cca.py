@@ -1,0 +1,138 @@
+"""Tests for repro.core.rank_certificate and repro.apps.cca."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cca import canonical_correlations, sketched_cca
+from repro.core.rank_certificate import rank_certificate
+from repro.hardinstances.dbeta import DBeta
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.gaussian import GaussianSketch
+from repro.utils.rng import as_generator, spawn
+
+
+class TestRankCertificate:
+    def test_identity_full_rank(self):
+        inst = DBeta(n=64, d=4, reps=1)
+        draw = inst.sample_draw(0)
+        cert = rank_certificate(np.eye(64), draw, 0.1)
+        assert cert.rank == 4
+        assert not cert.rank_deficient
+        assert not cert.interval_failure
+
+    def test_collision_is_rank_drop_for_s1_beta1(self):
+        # Two chosen columns into the same bucket: NN13b's certificate.
+        inst = DBeta(n=64, d=3, reps=1)
+        draw = inst.sample_draw(1)
+        pi = np.zeros((8, 64))
+        # Send the first two chosen columns to bucket 0, third to 1.
+        pi[0, draw.rows[0]] = 1.0
+        pi[0, draw.rows[1]] = 1.0
+        pi[1, draw.rows[2]] = 1.0
+        cert = rank_certificate(pi, draw, 0.1)
+        assert cert.rank_deficient
+        assert cert.interval_failure
+        assert cert.detected_by_rank_only
+
+    def test_interval_sees_what_rank_misses(self):
+        # reps = 2: a single cross-block collision perturbs the Gram
+        # matrix without annihilating a direction — the footnote's point.
+        inst = DBeta(n=64, d=2, reps=2)
+        rng = as_generator(3)
+        found_interval_only = False
+        for seed in range(60):
+            draw = inst.sample_draw(spawn(rng))
+            pi = np.zeros((8, 64))
+            # Collide one member of block 0 with one member of block 1.
+            pi[0, draw.rows[0]] = 1.0
+            pi[0, draw.rows[2]] = 1.0
+            pi[1, draw.rows[1]] = 1.0
+            pi[2, draw.rows[3]] = 1.0
+            cert = rank_certificate(pi, draw, 0.1)
+            if cert.detected_by_interval_only:
+                found_interval_only = True
+                break
+        assert found_interval_only
+
+    def test_fewer_rows_than_d(self):
+        inst = DBeta(n=32, d=4, reps=1)
+        draw = inst.sample_draw(0)
+        pi = np.random.default_rng(1).standard_normal((2, 32))
+        cert = rank_certificate(pi, draw, 0.1)
+        assert cert.rank <= 2
+        assert cert.rank_deficient
+
+    def test_undersized_countsketch_statistics(self):
+        # On an undersized CountSketch, every rank-deficiency must also
+        # be an interval failure (rank test is strictly weaker).
+        inst = DBeta(n=256, d=8, reps=1)
+        pi = CountSketch(m=16, n=256).sample(0).matrix
+        rng = as_generator(2)
+        for _ in range(20):
+            cert = rank_certificate(pi, inst.sample_draw(spawn(rng)), 0.1)
+            if cert.rank_deficient:
+                assert cert.interval_failure
+
+
+class TestCanonicalCorrelations:
+    def test_identical_subspaces(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((50, 3))
+        corr = canonical_correlations(x, x @ rng.standard_normal((3, 3)))
+        assert np.allclose(corr, 1.0, atol=1e-8)
+
+    def test_orthogonal_subspaces(self):
+        x = np.eye(10)[:, :2]
+        y = np.eye(10)[:, 5:7]
+        corr = canonical_correlations(x, y)
+        assert np.allclose(corr, 0.0, atol=1e-10)
+
+    def test_known_angle(self):
+        theta = 0.3
+        x = np.zeros((5, 1))
+        y = np.zeros((5, 1))
+        x[0, 0] = 1.0
+        y[0, 0] = np.cos(theta)
+        y[1, 0] = np.sin(theta)
+        corr = canonical_correlations(x, y)
+        assert corr[0] == pytest.approx(np.cos(theta))
+
+    def test_sample_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            canonical_correlations(np.ones((4, 2)) + np.eye(4, 2),
+                                   np.ones((5, 2)) + np.eye(5, 2))
+
+    def test_values_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        corr = canonical_correlations(
+            rng.standard_normal((40, 4)), rng.standard_normal((40, 3))
+        )
+        assert corr.shape == (3,)
+        assert np.all((corr >= 0) & (corr <= 1))
+
+
+class TestSketchedCCA:
+    def test_small_error_with_good_sketch(self):
+        rng = np.random.default_rng(0)
+        n = 512
+        x = rng.standard_normal((n, 3))
+        y = x @ rng.standard_normal((3, 2)) + \
+            0.5 * rng.standard_normal((n, 2))
+        fam = GaussianSketch(m=256, n=n)
+        res = sketched_cca(x, y, fam, rng=1)
+        assert res.max_error < 0.15
+        assert res.m == 256
+
+    def test_countsketch_variant(self):
+        rng = np.random.default_rng(2)
+        n = 1024
+        x = rng.standard_normal((n, 3))
+        y = rng.standard_normal((n, 3))
+        fam = CountSketch(m=512, n=n)
+        res = sketched_cca(x, y, fam, rng=3)
+        assert res.max_error < 0.3
+
+    def test_dimension_validation(self):
+        x = np.random.default_rng(4).standard_normal((64, 2))
+        with pytest.raises(ValueError):
+            sketched_cca(x, x, GaussianSketch(m=16, n=128))

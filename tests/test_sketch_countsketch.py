@@ -1,0 +1,119 @@
+"""Tests for repro.sketch.countsketch (and the shared Sketch/Family base)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.subspace import random_subspace
+from repro.linalg.distortion import distortion
+from repro.sketch.countsketch import CountSketch
+
+
+class TestConstruction:
+    def test_dimensions(self):
+        fam = CountSketch(m=16, n=100)
+        assert fam.m == 16
+        assert fam.n == 100
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            CountSketch(m=0, n=10)
+        with pytest.raises(ValueError):
+            CountSketch(m=10, n=-1)
+
+    def test_repr(self):
+        assert "CountSketch" in repr(CountSketch(m=4, n=8))
+
+    def test_with_m(self):
+        fam = CountSketch(m=16, n=100).with_m(64)
+        assert fam.m == 64
+        assert fam.n == 100
+        assert isinstance(fam, CountSketch)
+
+
+class TestSample:
+    def test_exactly_one_nonzero_per_column(self):
+        sketch = CountSketch(m=32, n=200).sample(0)
+        assert sketch.column_sparsity == 1
+        assert sketch.nnz == 200
+
+    def test_values_are_pm1(self):
+        sketch = CountSketch(m=32, n=200).sample(1)
+        data = sketch.matrix.tocsc().data
+        assert set(np.unique(data)) <= {-1.0, 1.0}
+
+    def test_deterministic_given_seed(self):
+        a = CountSketch(m=8, n=50).sample(3)
+        b = CountSketch(m=8, n=50).sample(3)
+        assert (a.matrix != b.matrix).nnz == 0
+
+    def test_sparse_format(self):
+        sketch = CountSketch(m=8, n=50).sample(0)
+        assert sp.issparse(sketch.matrix)
+
+    def test_apply_matches_matrix_product(self):
+        sketch = CountSketch(m=8, n=50).sample(0)
+        x = np.random.default_rng(1).standard_normal((50, 3))
+        assert np.allclose(sketch.apply(x), sketch.matrix @ x)
+
+    def test_apply_shape_mismatch(self):
+        sketch = CountSketch(m=8, n=50).sample(0)
+        with pytest.raises(ValueError):
+            sketch.apply(np.ones(49))
+
+    def test_column_norms_exactly_one(self):
+        sketch = CountSketch(m=16, n=64).sample(5)
+        norms = np.sqrt(
+            np.asarray(sketch.matrix.multiply(sketch.matrix).sum(axis=0))
+        ).ravel()
+        assert np.allclose(norms, 1.0)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_rows_within_bounds(self, seed):
+        sketch = CountSketch(m=7, n=30).sample(seed)
+        coo = sketch.matrix.tocoo()
+        assert coo.row.min() >= 0
+        assert coo.row.max() < 7
+
+
+class TestEmbeddingBehaviour:
+    def test_embeds_random_subspace_at_recommended_m(self):
+        d, eps, delta = 4, 0.25, 0.2
+        n = 512
+        m = CountSketch.recommended_m(d, eps, delta)
+        fam = CountSketch(m=min(m, 10_000), n=n)
+        failures = 0
+        for seed in range(20):
+            u = random_subspace(n, d, rng=seed)
+            sketch = fam.sample(1000 + seed)
+            if distortion(sketch.matrix, u) > eps:
+                failures += 1
+        assert failures <= 4  # generous delta slack
+
+    def test_tiny_m_fails_often(self):
+        n, d, eps = 512, 6, 0.1
+        fam = CountSketch(m=8, n=n)
+        failures = 0
+        for seed in range(10):
+            u = random_subspace(n, d, rng=seed)
+            sketch = fam.sample(seed)
+            if distortion(sketch.matrix, u) > eps:
+                failures += 1
+        assert failures >= 8
+
+
+class TestBounds:
+    def test_recommended_m_formula(self):
+        m = CountSketch.recommended_m(10, 0.1, 0.1, constant=2.0)
+        assert m == int(np.ceil(2.0 * 100 / (0.1 * 0.01)))
+
+    def test_lower_bound_formula(self):
+        value = CountSketch.lower_bound_m(10, 0.1, 0.1)
+        assert value == pytest.approx(100 / (0.01 * 0.1))
+
+    def test_recommended_m_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            CountSketch.recommended_m(10, 1.5, 0.1)

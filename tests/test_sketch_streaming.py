@@ -1,0 +1,92 @@
+"""Tests for repro.sketch.streaming."""
+
+import numpy as np
+import pytest
+
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.gaussian import GaussianSketch
+from repro.sketch.osnap import OSNAP
+from repro.sketch.streaming import StreamingSketcher
+
+
+@pytest.fixture
+def tall():
+    rng = np.random.default_rng(0)
+    return rng.standard_normal((200, 4))
+
+
+class TestStreaming:
+    def test_streamed_equals_batch(self, tall):
+        family = CountSketch(m=32, n=200)
+        sketcher = StreamingSketcher(family, columns=4, rng=5)
+        for start in range(0, 200, 32):
+            sketcher.update_matrix(tall[start:start + 32], start_row=start)
+        batch = sketcher.sketch.apply(tall)
+        assert np.allclose(sketcher.result(), batch)
+        assert sketcher.rows_seen == 200
+
+    def test_single_row_updates(self, tall):
+        family = OSNAP(m=32, n=200, s=3)
+        sketcher = StreamingSketcher(family, columns=4, rng=1)
+        for i in range(200):
+            sketcher.update_rows([i], tall[i:i + 1])
+        assert np.allclose(sketcher.result(), sketcher.sketch.apply(tall))
+
+    def test_turnstile_addition(self):
+        family = CountSketch(m=16, n=50)
+        sketcher = StreamingSketcher(family, columns=2, rng=2)
+        row = np.array([[1.0, 2.0]])
+        sketcher.update_rows([7], row)
+        sketcher.update_rows([7], row)
+        expected = 2 * (sketcher.sketch.matrix.tocsc()[:, [7]] @ row)
+        assert np.allclose(sketcher.result(), expected)
+
+    def test_dense_family_supported(self, tall):
+        family = GaussianSketch(m=16, n=200)
+        sketcher = StreamingSketcher(family, columns=4, rng=3)
+        sketcher.update_matrix(tall)
+        assert np.allclose(
+            sketcher.result(), sketcher.sketch.apply(tall), atol=1e-10
+        )
+
+    def test_shape_validation(self):
+        sketcher = StreamingSketcher(CountSketch(m=8, n=20), columns=3,
+                                     rng=0)
+        with pytest.raises(ValueError):
+            sketcher.update_rows([0], np.ones((1, 2)))
+
+    def test_row_index_validation(self):
+        sketcher = StreamingSketcher(CountSketch(m=8, n=20), columns=2,
+                                     rng=0)
+        with pytest.raises(ValueError):
+            sketcher.update_rows([25], np.ones((1, 2)))
+
+
+class TestMerge:
+    def test_sharded_merge_equals_batch(self, tall):
+        family = CountSketch(m=32, n=200)
+        left = StreamingSketcher(family, columns=4, rng=9)
+        right = StreamingSketcher(family, columns=4, rng=9)  # same seed
+        left.update_rows(np.arange(0, 100), tall[:100])
+        right.update_rows(np.arange(100, 200), tall[100:])
+        combined = left.merge(right)
+        assert np.allclose(combined.result(), left.sketch.apply(tall))
+        assert combined.rows_seen == 200
+
+    def test_merge_rejects_different_seeds(self):
+        family = CountSketch(m=16, n=50)
+        a = StreamingSketcher(family, columns=2, rng=1)
+        b = StreamingSketcher(family, columns=2, rng=2)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_rejects_wrong_type(self):
+        a = StreamingSketcher(CountSketch(m=8, n=20), columns=2, rng=0)
+        with pytest.raises(TypeError):
+            a.merge("not a sketcher")
+
+    def test_merge_rejects_shape_mismatch(self):
+        a = StreamingSketcher(CountSketch(m=8, n=20), columns=2, rng=0)
+        b = StreamingSketcher(CountSketch(m=8, n=20), columns=3, rng=0)
+        with pytest.raises(ValueError):
+            a.merge(b)

@@ -1,0 +1,97 @@
+"""Statistical soundness of the measurement substrate itself.
+
+These tests validate the *instruments* the experiments rely on: Wilson
+interval coverage, mixture sampling proportions, minimal-m estimator
+location, and seed-reproducibility of whole experiments.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.collisions import birthday_collision_probability
+from repro.core.tester import failure_estimate, minimal_m
+from repro.experiments.registry import run_experiment
+from repro.hardinstances.dbeta import DBeta
+from repro.hardinstances.mixtures import MixtureInstance
+from repro.sketch.countsketch import CountSketch
+from repro.utils.rng import as_generator, spawn
+from repro.utils.stats import wilson_interval
+
+
+class TestWilsonCoverage:
+    @pytest.mark.parametrize("p_true", [0.05, 0.3, 0.7])
+    def test_coverage_near_nominal(self, p_true):
+        """The 95% Wilson interval covers the true p at ~95% rate."""
+        rng = np.random.default_rng(hash(p_true) % 2**32)
+        trials_per_interval = 60
+        intervals = 400
+        covered = 0
+        for _ in range(intervals):
+            successes = rng.binomial(trials_per_interval, p_true)
+            lo, hi = wilson_interval(successes, trials_per_interval)
+            covered += int(lo <= p_true <= hi)
+        coverage = covered / intervals
+        assert coverage >= 0.90  # generous slack below the nominal 0.95
+
+
+class TestMixtureProportions:
+    def test_component_frequencies_match_weights(self):
+        comps = [DBeta(n=128, d=4, reps=1), DBeta(n=128, d=4, reps=2),
+                 DBeta(n=128, d=4, reps=4)]
+        weights = [0.5, 0.3, 0.2]
+        mix = MixtureInstance(comps, weights)
+        rng = as_generator(0)
+        counts = {1: 0, 2: 0, 4: 0}
+        draws = 600
+        for _ in range(draws):
+            counts[mix.sample_draw(spawn(rng)).reps] += 1
+        for reps, weight in zip((1, 2, 4), weights):
+            assert counts[reps] / draws == pytest.approx(weight, abs=0.07)
+
+
+class TestFailureEstimatorCalibration:
+    def test_estimate_matches_birthday_theory(self):
+        """The estimator's point value agrees with the closed form it is
+        supposed to be measuring (CountSketch on D_1: pure birthday)."""
+        d, m, n = 8, 128, 1024
+        inst = DBeta(n=n, d=d, reps=1)
+        fam = CountSketch(m=m, n=n)
+        est = failure_estimate(fam, inst, 0.25, trials=400, rng=0)
+        predicted = birthday_collision_probability(d, m)
+        assert est.point == pytest.approx(predicted, abs=0.07)
+
+    def test_minimal_m_located_at_birthday_threshold(self):
+        d, n, delta = 8, 1024, 0.3
+        inst = DBeta(n=n, d=d, reps=1)
+        fam = CountSketch(m=4, n=n)
+        search = minimal_m(fam, inst, 0.25, delta, trials=200, m_min=4,
+                           rng=1)
+        # Invert the birthday formula: threshold where P = delta.
+        lo = None
+        for m in range(4, 4096):
+            if birthday_collision_probability(d, m) <= delta:
+                lo = m
+                break
+        assert search.found
+        assert 0.5 * lo <= search.m_star <= 2.0 * lo
+
+
+class TestSeedReproducibility:
+    @pytest.mark.parametrize("eid", ["E5", "E6", "E12"])
+    def test_experiments_deterministic(self, eid):
+        """Cheap experiments produce identical metrics for equal seeds."""
+        a = run_experiment(eid, scale=0.15, rng=123).metrics
+        b = run_experiment(eid, scale=0.15, rng=123).metrics
+        assert a == b
+
+    def test_different_seeds_change_monte_carlo_outcomes(self):
+        """Distinct seeds drive genuinely different randomness (guards
+        against accidentally sharing a stream across trials)."""
+        d, n = 8, 512
+        inst = DBeta(n=n, d=d, reps=1)
+        fam = CountSketch(m=96, n=n)
+        values = {
+            failure_estimate(fam, inst, 0.25, trials=60, rng=seed).successes
+            for seed in range(8)
+        }
+        assert len(values) >= 3

@@ -1,0 +1,98 @@
+"""Tests for repro.utils.grids and repro.utils.tables."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.grids import dyadic_grid, geometric_grid, log_int_grid
+from repro.utils.tables import TextTable, format_value
+
+
+class TestLogIntGrid:
+    def test_endpoints_present(self):
+        grid = log_int_grid(4, 64, 5)
+        assert grid[0] == 4
+        assert grid[-1] == 64
+
+    def test_sorted_unique(self):
+        grid = log_int_grid(2, 100, 20)
+        assert grid == sorted(set(grid))
+
+    def test_single_point(self):
+        assert log_int_grid(5, 5, 3) == [5]
+
+    def test_low_above_high_raises(self):
+        with pytest.raises(ValueError):
+            log_int_grid(10, 5, 3)
+
+    @given(
+        low=st.integers(min_value=1, max_value=50),
+        span=st.integers(min_value=0, max_value=1000),
+        points=st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=50)
+    def test_values_in_range(self, low, span, points):
+        grid = log_int_grid(low, low + span, points)
+        assert all(low <= v <= low + span for v in grid)
+
+
+class TestGeometricGrid:
+    def test_endpoints(self):
+        grid = geometric_grid(0.1, 10.0, 3)
+        assert grid[0] == pytest.approx(0.1)
+        assert grid[-1] == pytest.approx(10.0)
+
+    def test_geometric_spacing(self):
+        grid = geometric_grid(1.0, 16.0, 5)
+        ratios = [grid[i + 1] / grid[i] for i in range(4)]
+        assert all(r == pytest.approx(2.0) for r in ratios)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_grid(0.0, 1.0, 3)
+
+
+class TestDyadicGrid:
+    def test_powers_in_range(self):
+        assert dyadic_grid(3, 20) == [4, 8, 16]
+
+    def test_includes_one(self):
+        assert dyadic_grid(1, 8) == [1, 2, 4, 8]
+
+    def test_empty_when_no_power_fits(self):
+        assert dyadic_grid(5, 7) == []
+
+
+class TestFormatValue:
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_float_uses_format(self):
+        assert format_value(3.14159, "{:.2f}") == "3.14"
+
+    def test_int_passthrough(self):
+        assert format_value(42) == "42"
+
+
+class TestTextTable:
+    def test_render_contains_headers_and_rows(self):
+        table = TextTable(title="demo", columns=["a", "b"])
+        table.add_row([1, 2.5])
+        rendered = table.render()
+        assert "demo" in rendered
+        assert "a" in rendered and "b" in rendered
+        assert "2.5" in rendered
+
+    def test_row_length_mismatch_raises(self):
+        table = TextTable(title="t", columns=["x"])
+        with pytest.raises(ValueError):
+            table.add_row([1, 2])
+
+    def test_alignment_consistent(self):
+        table = TextTable(title="t", columns=["col"])
+        table.add_row([1])
+        table.add_row([123456])
+        lines = table.render().splitlines()
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1  # all data/header/rule lines same width

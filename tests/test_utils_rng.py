@@ -1,0 +1,77 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn, spawn_many, stream
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, size=10)
+        b = as_generator(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 10**9)
+        b = as_generator(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough_is_identity(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_sequence_of_ints_accepted(self):
+        gen = as_generator([1, 2, 3])
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawn:
+    def test_spawn_never_aliases(self):
+        gen = np.random.default_rng(0)
+        child = spawn(gen)
+        assert child is not gen
+
+    def test_spawn_deterministic_given_parent_state(self):
+        a = spawn(as_generator(5)).integers(0, 10**9)
+        b = spawn(as_generator(5)).integers(0, 10**9)
+        assert a == b
+
+    def test_consecutive_spawns_differ(self):
+        gen = np.random.default_rng(0)
+        a = spawn(gen).integers(0, 10**9)
+        b = spawn(gen).integers(0, 10**9)
+        assert a != b
+
+    def test_spawn_many_count(self):
+        children = spawn_many(0, 5)
+        assert len(children) == 5
+        values = {child.integers(0, 10**9) for child in children}
+        assert len(values) == 5  # all streams distinct
+
+    def test_spawn_many_zero(self):
+        assert spawn_many(0, 0) == []
+
+    def test_spawn_many_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_many(0, -1)
+
+
+class TestStream:
+    def test_stream_yields_independent_generators(self):
+        it = stream(3)
+        values = [next(it).integers(0, 10**9) for _ in range(4)]
+        assert len(set(values)) == 4
+
+    def test_stream_deterministic(self):
+        a = [next(stream(9)).integers(0, 10**9)]
+        b = [next(stream(9)).integers(0, 10**9)]
+        assert a == b

@@ -1,0 +1,126 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_epsilon,
+    check_in_range,
+    check_matrix,
+    check_nonnegative_int,
+    check_positive_int,
+    check_power_of_two,
+    check_probability,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(4), "x") == 4
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-2, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.5, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+
+class TestCheckNonnegativeInt:
+    def test_accepts_zero(self):
+        assert check_nonnegative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative_int(-1, "x")
+
+
+class TestCheckProbability:
+    def test_accepts_interior(self):
+        assert check_probability(0.5, "p") == 0.5
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValueError):
+            check_probability(0.0, "p")
+
+    def test_allow_zero(self):
+        assert check_probability(0.0, "p", allow_zero=True) == 0.0
+
+    def test_rejects_one_by_default(self):
+        with pytest.raises(ValueError):
+            check_probability(1.0, "p")
+
+    def test_allow_one(self):
+        assert check_probability(1.0, "p", allow_one=True) == 1.0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_probability(float("nan"), "p")
+
+
+class TestCheckEpsilon:
+    def test_accepts_small(self):
+        assert check_epsilon(0.05) == 0.05
+
+    def test_respects_upper(self):
+        with pytest.raises(ValueError):
+            check_epsilon(0.2, upper=0.125)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_epsilon(0.0)
+
+
+class TestCheckInRange:
+    def test_inclusive_endpoints(self):
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_exclusive_rejects_endpoint(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.0, "x", 0.0, 1.0, inclusive=False)
+
+
+class TestCheckMatrix:
+    def test_accepts_2d(self):
+        a = check_matrix([[1, 2], [3, 4]], "a")
+        assert a.shape == (2, 2)
+        assert a.dtype == float
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            check_matrix([1, 2, 3], "a")
+
+    def test_shape_constraint(self):
+        with pytest.raises(ValueError):
+            check_matrix(np.ones((3, 2)), "a", shape=(None, 3))
+
+    def test_shape_wildcard(self):
+        a = check_matrix(np.ones((3, 2)), "a", shape=(None, 2))
+        assert a.shape == (3, 2)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_matrix([[np.nan, 1.0]], "a")
+
+
+class TestCheckPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 64, 1024])
+    def test_accepts_powers(self, value):
+        assert check_power_of_two(value, "x") == value
+
+    @pytest.mark.parametrize("value", [3, 6, 12, 100])
+    def test_rejects_non_powers(self, value):
+        with pytest.raises(ValueError):
+            check_power_of_two(value, "x")
