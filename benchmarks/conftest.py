@@ -18,15 +18,22 @@ from repro.experiments.registry import run_experiment
 BENCH_SCALE = 0.25
 
 
+#: Worker processes for experiment trial loops during benchmarks.  The
+#: default of 1 keeps timings comparable with historical runs; results are
+#: bit-identical at any setting (see repro.utils.parallel), so raising it
+#: only changes wall-clock time.
+BENCH_WORKERS = 1
+
+
 @pytest.fixture
 def run_experiment_once(benchmark):
     """Run one experiment under the benchmark timer and print its tables."""
 
-    def runner(experiment_id, scale=BENCH_SCALE, rng=0):
+    def runner(experiment_id, scale=BENCH_SCALE, rng=0, workers=BENCH_WORKERS):
         result = benchmark.pedantic(
             run_experiment,
             args=(experiment_id,),
-            kwargs={"scale": scale, "rng": rng},
+            kwargs={"scale": scale, "rng": rng, "workers": workers},
             rounds=1,
             iterations=1,
         )

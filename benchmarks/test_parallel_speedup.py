@@ -1,0 +1,63 @@
+"""Wall-clock speedup of the parallel trial engine.
+
+The acceptance target for the trial engine is a ≥1.5× speedup on a 4-core
+run of a 400-trial ``failure_estimate`` at ``m=2000, n=4000, d=8`` — with
+bit-identical results, which this benchmark also asserts.  On machines
+with fewer than 4 CPUs the speedup test is skipped (process-pool overhead
+cannot be amortized without real parallel hardware), but the determinism
+assertion still runs everywhere via tests/test_utils_parallel.py.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.tester import failure_estimate
+from repro.hardinstances.dbeta import DBeta
+from repro.sketch.countsketch import CountSketch
+
+TRIALS = 400
+M, N, D = 2000, 4000, 8
+EPSILON = 0.5
+REQUIRED_CPUS = 4
+TARGET_SPEEDUP = 1.5
+
+
+def _timed_estimate(workers):
+    started = time.perf_counter()
+    est = failure_estimate(
+        CountSketch(m=M, n=N), DBeta(n=N, d=D, reps=1), EPSILON,
+        trials=TRIALS, rng=0, workers=workers,
+    )
+    return est, time.perf_counter() - started
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < REQUIRED_CPUS,
+    reason=f"needs ≥{REQUIRED_CPUS} CPUs to demonstrate speedup",
+)
+def test_four_worker_speedup():
+    serial_est, serial_time = _timed_estimate(workers=1)
+    parallel_est, parallel_time = _timed_estimate(workers=REQUIRED_CPUS)
+    assert parallel_est == serial_est  # determinism before speed
+    speedup = serial_time / parallel_time
+    print(
+        f"\nserial {serial_time:.2f}s, {REQUIRED_CPUS} workers "
+        f"{parallel_time:.2f}s -> {speedup:.2f}x"
+    )
+    assert speedup >= TARGET_SPEEDUP
+
+
+def test_parallel_matches_serial_at_benchmark_size():
+    """Determinism at the benchmark's own problem size (any CPU count)."""
+    trials = 40  # enough to cross chunk boundaries, cheap enough anywhere
+    serial = failure_estimate(
+        CountSketch(m=M, n=N), DBeta(n=N, d=D, reps=1), EPSILON,
+        trials=trials, rng=0, workers=1,
+    )
+    parallel = failure_estimate(
+        CountSketch(m=M, n=N), DBeta(n=N, d=D, reps=1), EPSILON,
+        trials=trials, rng=0, workers=2,
+    )
+    assert parallel == serial

@@ -130,8 +130,8 @@ def witness_from_algorithm1(pi: MatrixLike, draw: HardDraw, epsilon: float,
     best = None
     for ci, cj in result.pairs:
         if sp.issparse(dense):
-            a = np.asarray(dense[:, ci].todense()).ravel()
-            b = np.asarray(dense[:, cj].todense()).ravel()
+            a = np.asarray(dense[:, ci].toarray()).ravel()
+            b = np.asarray(dense[:, cj].toarray()).ravel()
         else:
             a = dense[:, ci]
             b = dense[:, cj]
@@ -207,8 +207,8 @@ def witness_from_algorithm2(pi: MatrixLike, draw: HardDraw, epsilon: float,
     best = None
     for ci, cj in result.pairs:
         if sp.issparse(dense):
-            a = np.asarray(dense[:, ci].todense()).ravel()
-            b = np.asarray(dense[:, cj].todense()).ravel()
+            a = np.asarray(dense[:, ci].toarray()).ravel()
+            b = np.asarray(dense[:, cj].toarray()).ravel()
         else:
             a = dense[:, ci]
             b = dense[:, cj]

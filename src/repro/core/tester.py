@@ -11,13 +11,15 @@ paper's lower-bound formulas.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..hardinstances.dbeta import HardInstance
 from ..linalg.distortion import distortion_of_product
-from ..sketch.base import SketchFamily
+from ..sketch.base import Sketch, SketchFamily
+from ..utils.parallel import TrialExecutor
 from ..utils.rng import RngLike, as_generator, spawn
 from ..utils.stats import BernoulliEstimate
 from ..utils.validation import check_epsilon, check_positive_int, check_probability
@@ -30,10 +32,27 @@ __all__ = [
 ]
 
 
+def _distortion_trial(family: SketchFamily, instance: HardInstance,
+                      fixed: Optional[Sketch],
+                      seed: np.random.SeedSequence) -> float:
+    """One Monte-Carlo trial: the distortion of ``ΠU`` for fresh draws.
+
+    Module-level (not a closure) so :class:`TrialExecutor` can pickle it
+    for process-pool workers.  All randomness comes from ``seed``, making
+    the trial independent of execution order.
+    """
+    sketch_seed, draw_seed = seed.spawn(2)
+    sketch = fixed if fixed is not None else family.sample(sketch_seed)
+    draw = instance.sample_draw(draw_seed)
+    return distortion_of_product(sketch.basis_image(draw))
+
+
 def failure_estimate(family: SketchFamily, instance: HardInstance,
                      epsilon: float, trials: int,
                      rng: RngLike = None,
-                     fresh_sketch: bool = True) -> BernoulliEstimate:
+                     fresh_sketch: bool = True,
+                     workers: Optional[int] = 1,
+                     chunk_size: Optional[int] = None) -> BernoulliEstimate:
     """Estimate ``P[Π is NOT an ε-embedding for U]``.
 
     Each trial draws ``U`` from ``instance`` and (by default) a fresh
@@ -41,6 +60,10 @@ def failure_estimate(family: SketchFamily, instance: HardInstance,
     the singular values of ``ΠU``.  With ``fresh_sketch=False`` a single
     sketch is drawn up front and reused — the deterministic-Π view of
     Yao's principle, appropriate when certifying one concrete matrix.
+
+    ``workers`` distributes the trials over a process pool (``None``/``0``
+    = all CPUs).  Results are bit-identical across ``workers`` settings at
+    a fixed seed: each trial consumes only its own pre-derived child seed.
     """
     epsilon = check_epsilon(epsilon)
     trials = check_positive_int(trials, "trials")
@@ -51,26 +74,30 @@ def failure_estimate(family: SketchFamily, instance: HardInstance,
         )
     gen = as_generator(rng)
     fixed = None if fresh_sketch else family.sample(spawn(gen))
-    failures = 0
-    for _ in range(trials):
-        sketch = family.sample(spawn(gen)) if fresh_sketch else fixed
-        draw = instance.sample_draw(spawn(gen))
-        if distortion_of_product(sketch.basis_image(draw)) > epsilon:
-            failures += 1
+    executor = TrialExecutor(workers=workers, chunk_size=chunk_size)
+    distortions = executor.run(
+        partial(_distortion_trial, family, instance, fixed), trials, gen
+    )
+    failures = sum(1 for value in distortions if value > epsilon)
     return BernoulliEstimate(failures, trials)
 
 
 def distortion_samples(family: SketchFamily, instance: HardInstance,
-                       trials: int, rng: RngLike = None) -> np.ndarray:
-    """Sampled distortions (one per trial) — the full failure CDF."""
+                       trials: int, rng: RngLike = None,
+                       workers: Optional[int] = 1,
+                       chunk_size: Optional[int] = None) -> np.ndarray:
+    """Sampled distortions (one per trial) — the full failure CDF.
+
+    Shares :func:`failure_estimate`'s trial engine and determinism
+    guarantee: the returned array is bit-identical for any ``workers``
+    setting at a fixed seed.
+    """
     trials = check_positive_int(trials, "trials")
-    gen = as_generator(rng)
-    values = np.empty(trials)
-    for t in range(trials):
-        sketch = family.sample(spawn(gen))
-        draw = instance.sample_draw(spawn(gen))
-        values[t] = distortion_of_product(sketch.basis_image(draw))
-    return values
+    executor = TrialExecutor(workers=workers, chunk_size=chunk_size)
+    values = executor.run(
+        partial(_distortion_trial, family, instance, None), trials, rng
+    )
+    return np.asarray(values, dtype=float)
 
 
 @dataclass
@@ -115,13 +142,22 @@ def minimal_m(family: SketchFamily, instance: HardInstance, epsilon: float,
               delta: float, trials: int = 200, m_min: int = 1,
               m_max: int = 1_000_000, growth: float = 2.0,
               decision: str = "point",
-              rng: RngLike = None) -> MinimalMResult:
+              rng: RngLike = None,
+              workers: Optional[int] = 1,
+              chunk_size: Optional[int] = None) -> MinimalMResult:
     """Search for the minimal ``m`` with failure rate ≤ ``δ``.
 
     Exponential search upward from ``m_min`` (factor ``growth``) until a
     passing ``m`` is found, then bisection between the last failing and
-    first passing ``m``.  All probes are recorded for post-hoc
-    inspection.
+    first passing ``m``.  The bisection stops once the bracket width
+    ``hi - lo`` drops to ``max(1, lo // 20)`` — i.e. it resolves ``m*`` to
+    about 5% relative tolerance rather than exactly, since Monte-Carlo
+    probe noise at practical ``trials`` swamps finer resolution anyway.
+    All probes are recorded for post-hoc inspection.
+
+    ``workers`` parallelizes each probe's trials over a process pool (see
+    :func:`failure_estimate`); the probe sequence itself is adaptive and
+    stays serial.
 
     ``decision`` selects how a probe passes:
 
@@ -159,7 +195,8 @@ def minimal_m(family: SketchFamily, instance: HardInstance, epsilon: float,
 
     def probe(m: int) -> bool:
         est = failure_estimate(
-            family.with_m(m), instance, epsilon, trials, spawn(gen)
+            family.with_m(m), instance, epsilon, trials, spawn(gen),
+            workers=workers, chunk_size=chunk_size,
         )
         result.evaluations.append((m, est))
         return passes(est)

@@ -94,7 +94,7 @@ def escape_probability(pi: MatrixLike, draw: HardDraw, p: int, q: int,
     dense_pi = pi.tocsc() if sp.issparse(pi) else np.asarray(pi, dtype=float)
     cols = draw.rows[support]
     if sp.issparse(dense_pi):
-        b = np.asarray(dense_pi[:, cols].todense(), dtype=float)
+        b = np.asarray(dense_pi[:, cols].toarray(), dtype=float)
     else:
         b = dense_pi[:, cols]
     b = coeff * b
@@ -131,7 +131,7 @@ def find_large_inner_product(pi: MatrixLike, draw: HardDraw,
     """
     cols = draw.rows
     if sp.issparse(pi):
-        a = np.asarray(pi.tocsc()[:, cols].todense(), dtype=float)
+        a = np.asarray(pi.tocsc()[:, cols].toarray(), dtype=float)
     else:
         a = np.asarray(pi, dtype=float)[:, cols]
     gram = a.T @ a

@@ -34,6 +34,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="random seed (default 0)"
     )
     parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for Monte-Carlo trial loops; 0 = all CPUs "
+             "(results are identical to --workers 1 at the same seed)",
+    )
+    parser.add_argument(
         "--json-dir", default=None, metavar="DIR",
         help="also write each result as DIR/<id>.json",
     )
@@ -58,7 +63,9 @@ def main(argv=None) -> int:
             print(f"unknown experiment {eid!r}; known: "
                   f"{', '.join(experiment_ids())}", file=sys.stderr)
             return 2
-        result = run_experiment(eid, scale=args.scale, rng=args.seed)
+        result = run_experiment(
+            eid, scale=args.scale, rng=args.seed, workers=args.workers
+        )
         print(result.render())
         print()
         if args.json_dir is not None:

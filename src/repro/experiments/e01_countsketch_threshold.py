@@ -72,7 +72,7 @@ class CountSketchThresholdExperiment(Experiment):
             family = CountSketch(m=max(4, q), n=n)
             search = minimal_m(
                 family, hard, EPSILON, DELTA, trials=trials,
-                m_min=max(4, q), rng=spawn(rng),
+                m_min=max(4, q), rng=spawn(rng), workers=self.workers,
             )
             m_hard = search.m_star if search.found else float("nan")
 
@@ -81,6 +81,7 @@ class CountSketchThresholdExperiment(Experiment):
             control = minimal_m(
                 control_family, control_inst, EPSILON, DELTA,
                 trials=max(10, trials // 2), m_min=4, rng=spawn(rng),
+                workers=self.workers,
             )
             m_control = control.m_star if control.found else float("nan")
 

@@ -56,7 +56,7 @@ class EpsDeltaScalingExperiment(Experiment):
             family = CountSketch(m=max(4, q), n=n)
             search = minimal_m(
                 family, inst, epsilon, delta, trials=trials,
-                m_min=max(4, q), rng=spawn(rng),
+                m_min=max(4, q), rng=spawn(rng), workers=self.workers,
             )
             m_star = search.m_star if search.found else float("nan")
             eps_table.add_row([inv_eps, reps, q, n, m_star])
@@ -89,7 +89,7 @@ class EpsDeltaScalingExperiment(Experiment):
             family = CountSketch(m=max(4, q), n=n)
             search = minimal_m(
                 family, inst, epsilon, delta, trials=trials,
-                m_min=max(4, q), rng=spawn(rng),
+                m_min=max(4, q), rng=spawn(rng), workers=self.workers,
             )
             m_star = search.m_star if search.found else float("nan")
             delta_table.add_row([delta, trials, m_star])

@@ -81,7 +81,8 @@ class ColumnNormExperiment(Experiment):
         for c in cs:
             family = ScaledCountSketch(m=m, n=n, c=c)
             est = failure_estimate(
-                family, instance, epsilon, trials=trials, rng=spawn(rng)
+                family, instance, epsilon, trials=trials,
+                rng=spawn(rng), workers=self.workers,
             )
             rel = abs(c - 1.0) / epsilon
             table.add_row([c, rel, est.point, est.low, est.high])

@@ -88,7 +88,7 @@ class Algorithm1Experiment(Experiment):
                 )
                 pair_counts.append(trace.pair_count)
                 dense_cols = np.asarray(
-                    pi.tocsc()[:, draw.rows].todense(), dtype=float
+                    pi.tocsc()[:, draw.rows].toarray(), dtype=float
                 )
                 gram = dense_cols.T @ dense_cols
                 np.fill_diagonal(gram, 0.0)
@@ -96,10 +96,10 @@ class Algorithm1Experiment(Experiment):
                     exhaustive_hits += 1
                 for ci, cj in trace.pairs:
                     a = np.asarray(
-                        pi.tocsc()[:, ci].todense()
+                        pi.tocsc()[:, ci].toarray()
                     ).ravel()
                     b = np.asarray(
-                        pi.tocsc()[:, cj].todense()
+                        pi.tocsc()[:, cj].toarray()
                     ).ravel()
                     if abs(float(a @ b)) >= threshold:
                         greedy_hits += 1

@@ -75,7 +75,7 @@ class SparsityTradeoffExperiment(Experiment):
                 family = OSNAP(m=start_m, n=n, s=s, variant=variant)
                 search = minimal_m(
                     family, instance, epsilon, delta, trials=trials,
-                    m_min=start_m, rng=spawn(rng),
+                    m_min=start_m, rng=spawn(rng), workers=self.workers,
                 )
                 m_star = search.m_star if search.found else float("nan")
                 floor = theorem20_lower_bound(d, s, delta)

@@ -78,7 +78,8 @@ class HeavyBudgetExperiment(Experiment):
             sound_everywhere = sound_everywhere and sound
             below = float(np.mean(np.sqrt(norms2) < 1.0 - epsilon))
             est = failure_estimate(
-                family, instance, epsilon, trials=trials, rng=spawn(rng)
+                family, instance, epsilon, trials=trials,
+                rng=spawn(rng), workers=self.workers,
             )
             if name.startswith("Deflated"):
                 deflated_fail = min(deflated_fail, est.point)

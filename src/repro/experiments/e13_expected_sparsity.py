@@ -69,10 +69,12 @@ class ExpectedSparsityExperiment(Experiment):
             osnap = OSNAP(m=m, n=n, s=s)
             jl = SparseJL(m=m, n=n, q=min(0.5, s / m))
             est_osnap = failure_estimate(
-                osnap, instance, epsilon, trials=trials, rng=spawn(rng)
+                osnap, instance, epsilon, trials=trials,
+                rng=spawn(rng), workers=self.workers,
             )
             est_jl = failure_estimate(
-                jl, instance, epsilon, trials=trials, rng=spawn(rng)
+                jl, instance, epsilon, trials=trials,
+                rng=spawn(rng), workers=self.workers,
             )
             jl_min_failure = min(jl_min_failure, est_jl.point)
             osnap_final = est_osnap.point
@@ -93,7 +95,8 @@ class ExpectedSparsityExperiment(Experiment):
         for s_exp in (2, 8, 32, 128, 512):
             jl = SparseJL(m=m, n=n, q=min(1.0, s_exp / m))
             est = failure_estimate(
-                jl, instance, epsilon, trials=trials, rng=spawn(rng)
+                jl, instance, epsilon, trials=trials,
+                rng=spawn(rng), workers=self.workers,
             )
             sweep_table.add_row(
                 [s_exp, 1.0 / math.sqrt(s_exp), est.point]

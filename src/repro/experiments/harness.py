@@ -136,10 +136,31 @@ class Experiment(abc.ABC):
     title: str = ""
     paper_claim: str = ""
 
-    def run(self, scale: float = 1.0, rng: RngLike = None) -> ExperimentResult:
-        """Run the experiment; ``scale`` shrinks or grows the workload."""
+    #: Worker processes for Monte-Carlo trial loops; set by :meth:`run`.
+    _workers: int = 1
+
+    @property
+    def workers(self) -> int:
+        """Worker processes available to this run's trial loops.
+
+        Experiment implementations pass this to ``failure_estimate`` /
+        ``minimal_m`` / ``estimate_probability``; results are bit-identical
+        across ``workers`` settings at a fixed seed (the trial engine
+        derives per-trial seeds up front — see :mod:`repro.utils.parallel`).
+        """
+        return self._workers
+
+    def run(self, scale: float = 1.0, rng: RngLike = None,
+            workers: int = 1) -> ExperimentResult:
+        """Run the experiment; ``scale`` shrinks or grows the workload.
+
+        ``workers`` parallelizes the experiment's Monte-Carlo trial loops
+        over a process pool (``None``/``0`` = all CPUs) without changing
+        any result at a fixed seed.
+        """
         if scale <= 0:
             raise ValueError(f"scale must be positive, got {scale}")
+        self._workers = workers
         started = time.perf_counter()
         result = self._run(scale, as_generator(rng))
         result.elapsed_seconds = time.perf_counter() - started

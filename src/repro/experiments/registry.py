@@ -69,14 +69,18 @@ def get_experiment(experiment_id: str) -> Experiment:
 
 
 def run_experiment(experiment_id: str, scale: float = 1.0,
-                   rng: RngLike = None) -> ExperimentResult:
-    """Run one experiment by id."""
-    return get_experiment(experiment_id).run(scale=scale, rng=rng)
+                   rng: RngLike = None,
+                   workers: int = 1) -> ExperimentResult:
+    """Run one experiment by id; ``workers`` parallelizes its trial loops."""
+    return get_experiment(experiment_id).run(
+        scale=scale, rng=rng, workers=workers
+    )
 
 
-def run_all(scale: float = 1.0, rng: RngLike = None) -> List[ExperimentResult]:
+def run_all(scale: float = 1.0, rng: RngLike = None,
+            workers: int = 1) -> List[ExperimentResult]:
     """Run every experiment, returning results in order."""
     return [
-        run_experiment(eid, scale=scale, rng=rng)
+        run_experiment(eid, scale=scale, rng=rng, workers=workers)
         for eid in experiment_ids()
     ]

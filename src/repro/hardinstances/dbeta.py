@@ -99,10 +99,10 @@ class HardDraw:
         if not self.structured:
             product = pi @ self.u
             if sp.issparse(product):
-                product = product.todense()
+                product = product.toarray()
             return np.asarray(product, dtype=float)
         if sp.issparse(pi):
-            sub = np.asarray(pi.tocsc()[:, self.rows].todense(), dtype=float)
+            sub = np.asarray(pi.tocsc()[:, self.rows].toarray(), dtype=float)
         else:
             sub = np.asarray(pi, dtype=float)[:, self.rows]
         scale = 1.0 / np.sqrt(self.reps)

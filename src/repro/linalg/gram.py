@@ -59,7 +59,7 @@ def gram_matrix(a: MatrixLike) -> np.ndarray:
     """Dense Gram matrix ``AᵀA`` of column inner products."""
     _ensure_2d(a)
     if sp.issparse(a):
-        return np.asarray((a.T @ a).todense())
+        return np.asarray((a.T @ a).toarray())
     a = np.asarray(a, dtype=float)
     return a.T @ a
 

@@ -90,7 +90,7 @@ def sketch_apply_cost(pi: MatrixLike, a: MatrixLike) -> int:
 def densify(a: MatrixLike) -> np.ndarray:
     """Convert to a dense float ndarray (no copy when already dense)."""
     if sp.issparse(a):
-        return np.asarray(a.todense(), dtype=float)
+        return np.asarray(a.toarray(), dtype=float)
     return np.asarray(a, dtype=float)
 
 

@@ -84,7 +84,7 @@ class Sketch:
             )
         result = self._matrix @ a_arr
         if sp.issparse(result):
-            result = result.todense()
+            result = result.toarray()
         return np.asarray(result, dtype=float)
 
     def basis_image(self, draw) -> np.ndarray:

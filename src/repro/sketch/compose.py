@@ -30,7 +30,7 @@ __all__ = ["TwoStageSketch", "StackedSketch"]
 
 def _to_dense(matrix) -> np.ndarray:
     if sp.issparse(matrix):
-        return np.asarray(matrix.todense(), dtype=float)
+        return np.asarray(matrix.toarray(), dtype=float)
     return np.asarray(matrix, dtype=float)
 
 

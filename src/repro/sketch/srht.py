@@ -15,6 +15,7 @@ from __future__ import annotations
 import math
 
 import numpy as np
+import scipy.sparse as sp
 
 from ..linalg.hadamard import fwht
 from ..utils.rng import RngLike, as_generator
@@ -102,8 +103,8 @@ class SRHTSketch(Sketch):
 
     def apply(self, a) -> np.ndarray:
         """``ΠA`` in ``O(n log n)`` per column via the FWHT."""
-        a = np.asarray(a, dtype=float) if not hasattr(a, "todense") \
-            else np.asarray(a.todense(), dtype=float)
+        a = np.asarray(a, dtype=float) if not sp.issparse(a) \
+            else np.asarray(a.toarray(), dtype=float)
         return self._operator.apply(a)
 
     def apply_cost(self, a) -> int:

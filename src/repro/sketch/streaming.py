@@ -64,6 +64,11 @@ class StreamingSketcher:
             if sp.issparse(self._sketch.matrix)
             else sp.csc_matrix(np.asarray(self._sketch.matrix, dtype=float))
         )
+        # Canonical form (sorted indices, no duplicates) so two sketchers
+        # built from the same family and seed are structurally comparable
+        # array-by-array in merge().
+        self._csc.sum_duplicates()
+        self._csc.sort_indices()
         self._accumulator = np.zeros((family.m, columns))
         self._rows_seen = 0
 
@@ -115,9 +120,28 @@ class StreamingSketcher:
         """
         if not isinstance(other, StreamingSketcher):
             raise TypeError("can only merge with another StreamingSketcher")
+        if type(self._family) is not type(other._family):
+            raise ValueError(
+                f"cannot merge shards from different sketch families: "
+                f"{type(self._family).__name__} vs "
+                f"{type(other._family).__name__}"
+            )
+        if self._csc.shape != other._csc.shape:
+            raise ValueError(
+                f"cannot merge shards with different sketch shapes: "
+                f"{self._csc.shape} vs {other._csc.shape}"
+            )
         if self._accumulator.shape != other._accumulator.shape:
             raise ValueError("shards have different accumulator shapes")
-        if (self._csc != other._csc).nnz != 0:
+        # Structural comparison of the canonicalized CSC arrays: cheap,
+        # exact, and — unlike a sparse `!=` — free of scipy's
+        # SparseEfficiencyWarning and its O(nnz) intermediate matrix.
+        same = (
+            np.array_equal(self._csc.indptr, other._csc.indptr)
+            and np.array_equal(self._csc.indices, other._csc.indices)
+            and np.array_equal(self._csc.data, other._csc.data)
+        )
+        if not same:
             raise ValueError(
                 "shards were sketched with different matrices; build both "
                 "from the same family and seed"

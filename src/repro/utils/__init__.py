@@ -1,7 +1,8 @@
 """Shared utilities: RNG plumbing, validation, statistics, grids, tables."""
 
 from .grids import dyadic_grid, geometric_grid, log_int_grid
-from .rng import RngLike, as_generator, spawn, spawn_many, stream
+from .parallel import TrialExecutor, resolve_workers, run_trials
+from .rng import RngLike, as_generator, spawn, spawn_many, spawn_seeds, stream
 from .stats import (
     BernoulliEstimate,
     estimate_probability,
@@ -25,7 +26,11 @@ __all__ = [
     "as_generator",
     "spawn",
     "spawn_many",
+    "spawn_seeds",
     "stream",
+    "TrialExecutor",
+    "resolve_workers",
+    "run_trials",
     "BernoulliEstimate",
     "estimate_probability",
     "fit_power_law",

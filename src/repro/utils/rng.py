@@ -5,11 +5,24 @@ a fully constructed :class:`numpy.random.Generator`.  No module touches the
 global NumPy random state.  The helpers here normalize whatever a caller
 passes into an independent generator, and derive statistically independent
 child streams for parallel or repeated trials.
+
+Child streams are derived with :meth:`numpy.random.SeedSequence.spawn`, the
+mechanism NumPy designed for parallel fan-out: children depend only on the
+parent's seed material and a spawn counter, never on values drawn from the
+parent generator.  Consequences callers can rely on:
+
+* spawning does **not** advance the parent's stream — the parent draws the
+  same values whether or not children were spawned;
+* child streams do **not** depend on how much was drawn from the parent
+  before spawning, only on how many children were spawned before them;
+* the :class:`~numpy.random.SeedSequence` objects from :func:`spawn_seeds`
+  are cheap, picklable descriptions of streams, suitable for shipping to
+  worker processes (see :mod:`repro.utils.parallel`).
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence, Union
+from typing import Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -18,6 +31,7 @@ __all__ = [
     "as_generator",
     "spawn",
     "spawn_many",
+    "spawn_seeds",
     "stream",
 ]
 
@@ -41,23 +55,61 @@ def as_generator(rng: RngLike = None) -> np.random.Generator:
     return np.random.default_rng(rng)
 
 
+def _seed_sequence_of(rng: RngLike) -> Optional[np.random.SeedSequence]:
+    """The live :class:`~numpy.random.SeedSequence` backing ``rng``.
+
+    For a generator this is the sequence recorded on its bit generator
+    (shared, so spawn counters accumulate across calls); for seed-like
+    values a fresh sequence is built.  Returns ``None`` for generators
+    whose bit generator does not carry a seed sequence (e.g. restored from
+    a raw state), where order-robust spawning is impossible.
+    """
+    if isinstance(rng, np.random.SeedSequence):
+        return rng
+    if isinstance(rng, np.random.Generator):
+        seq = getattr(rng.bit_generator, "seed_seq", None)
+        if seq is None:
+            seq = getattr(rng.bit_generator, "_seed_seq", None)
+        return seq if isinstance(seq, np.random.SeedSequence) else None
+    return np.random.SeedSequence(rng)
+
+
+def spawn_seeds(rng: RngLike, count: int) -> List[np.random.SeedSequence]:
+    """Derive ``count`` independent child :class:`~numpy.random.SeedSequence`\\ s.
+
+    The children are produced by ``SeedSequence.spawn`` on the sequence
+    backing ``rng``, so they are provably independent of each other and of
+    the parent stream, and do not depend on what was previously *drawn*
+    from the parent (only on how many children it has already spawned).
+    Seed sequences are picklable, which makes this the right primitive for
+    seeding process-pool workers.
+    """
+    if count < 0:
+        raise ValueError(f"count must be nonnegative, got {count}")
+    seq = _seed_sequence_of(rng)
+    if seq is None:
+        # Generator without a recorded SeedSequence: fall back to drawing
+        # seed material from its stream (not order-robust, but functional).
+        parent = as_generator(rng)
+        entropy = [int(x) for x in parent.integers(0, 2**63 - 1, size=4)]
+        seq = np.random.SeedSequence(entropy)
+    return seq.spawn(count)
+
+
 def spawn(rng: RngLike = None) -> np.random.Generator:
     """Return a new generator independent of ``rng``.
 
     Unlike :func:`as_generator`, the result never aliases the input: passing
-    the same generator twice yields two distinct child streams.
+    the same generator twice yields two distinct child streams (the spawn
+    counter lives on the generator's seed sequence).  Spawning leaves the
+    parent's own stream untouched.
     """
-    parent = as_generator(rng)
-    seed = parent.integers(0, 2**63 - 1, size=4)
-    return np.random.default_rng(np.random.SeedSequence(list(int(s) for s in seed)))
+    return np.random.default_rng(spawn_seeds(rng, 1)[0])
 
 
 def spawn_many(rng: RngLike, count: int) -> list:
     """Return ``count`` mutually independent child generators of ``rng``."""
-    if count < 0:
-        raise ValueError(f"count must be nonnegative, got {count}")
-    parent = as_generator(rng)
-    return [spawn(parent) for _ in range(count)]
+    return [np.random.default_rng(seq) for seq in spawn_seeds(rng, count)]
 
 
 def stream(rng: RngLike = None) -> Iterator[np.random.Generator]:

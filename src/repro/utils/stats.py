@@ -11,11 +11,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Sequence, Tuple
+from functools import partial
+from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .rng import RngLike, as_generator, spawn
+from .parallel import TrialExecutor
+from .rng import RngLike, as_generator
 from .validation import check_nonnegative_int, check_positive_int
 
 __all__ = [
@@ -142,21 +144,30 @@ class BernoulliEstimate:
         )
 
 
+def _event_trial(event: Callable[[np.random.Generator], bool],
+                 seed: np.random.SeedSequence) -> bool:
+    """One event trial seeded by its own child sequence (picklable)."""
+    return bool(event(as_generator(seed)))
+
+
 def estimate_probability(event: Callable[[np.random.Generator], bool],
                          trials: int,
                          rng: RngLike = None,
-                         confidence: float = 0.95) -> BernoulliEstimate:
+                         confidence: float = 0.95,
+                         workers: Optional[int] = 1,
+                         chunk_size: Optional[int] = None) -> BernoulliEstimate:
     """Estimate ``P[event]`` with ``trials`` independent Monte-Carlo trials.
 
     ``event`` receives a fresh child generator per trial and returns a bool.
+    ``workers`` distributes trials over a process pool (``None``/``0`` =
+    all CPUs) with bit-identical results across ``workers`` settings at a
+    fixed seed; ``event`` must then be picklable (a module-level function,
+    not a lambda or closure).
     """
     trials = check_positive_int(trials, "trials")
-    parent = as_generator(rng)
-    successes = 0
-    for _ in range(trials):
-        if event(spawn(parent)):
-            successes += 1
-    return BernoulliEstimate(successes, trials, confidence)
+    executor = TrialExecutor(workers=workers, chunk_size=chunk_size)
+    outcomes = executor.run(partial(_event_trial, event), trials, rng)
+    return BernoulliEstimate(sum(outcomes), trials, confidence)
 
 
 def fit_power_law(x: Sequence[float], y: Sequence[float]) -> Tuple[float, float]:

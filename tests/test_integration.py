@@ -78,7 +78,9 @@ class TestTheorem9Pipeline:
         fam = HadamardBlockSketch(m=64, n=n, block_order=4)  # m << d^2
         pi = fam.sample(0).matrix
         inst = DBeta(n=n, d=d, reps=1)
-        cert = certify(pi, inst, eps, delta=0.1, trials=40,
+        # 240 trials keep the Monte-Carlo noise (~0.02 sd at the ~0.14
+        # true rate) well clear of the 0.1 threshold for any seed path.
+        cert = certify(pi, inst, eps, delta=0.1, trials=240,
                        strategy="algorithm1", rng=1)
         # The witness pipeline alone detects failure often enough to
         # refute at delta = 0.1.
