@@ -18,7 +18,7 @@ import numpy as np
 
 from ..hardinstances.dbeta import HardInstance
 from ..linalg.distortion import distortion_of_product
-from ..sketch.base import Sketch, SketchFamily
+from ..sketch.base import Sketch, SketchFamily, sample_sketch
 from ..utils.parallel import TrialExecutor
 from ..utils.rng import RngLike, as_generator, spawn
 from ..utils.stats import BernoulliEstimate
@@ -40,9 +40,14 @@ def _distortion_trial(family: SketchFamily, instance: HardInstance,
     Module-level (not a closure) so :class:`TrialExecutor` can pickle it
     for process-pool workers.  All randomness comes from ``seed``, making
     the trial independent of execution order.
+
+    Fresh sketches are drawn ``lazy=True`` so kernel-backed families skip
+    scipy matrix assembly entirely; ``basis_image`` then runs on the
+    matrix-free kernel (bit-identical to the materialized path).
     """
     sketch_seed, draw_seed = seed.spawn(2)
-    sketch = fixed if fixed is not None else family.sample(sketch_seed)
+    sketch = fixed if fixed is not None \
+        else sample_sketch(family, sketch_seed, lazy=True)
     draw = instance.sample_draw(draw_seed)
     return distortion_of_product(sketch.basis_image(draw))
 

@@ -105,6 +105,15 @@ class HardDraw:
             sub = np.asarray(pi.tocsc()[:, self.rows].toarray(), dtype=float)
         else:
             sub = np.asarray(pi, dtype=float)[:, self.rows]
+        return self.combine_sketched_columns(sub)
+
+    def combine_sketched_columns(self, sub: np.ndarray) -> np.ndarray:
+        """Finish ``ΠU = (ΠV)W`` given the gathered columns ``ΠV``.
+
+        ``sub`` must be the dense ``m × reps·d`` gather ``Π[:, rows]``.
+        Kept as a separate step so matrix-free kernels can produce ``sub``
+        their own way and still share this exact arithmetic (bit-for-bit).
+        """
         scale = 1.0 / np.sqrt(self.reps)
         scaled = sub * (self.signs * scale)
         m = scaled.shape[0]

@@ -62,7 +62,7 @@ def nnz(a: MatrixLike) -> int:
     return int(np.count_nonzero(np.asarray(a)))
 
 
-def sketch_apply_cost(pi: MatrixLike, a: MatrixLike) -> int:
+def sketch_apply_cost(pi, a: MatrixLike) -> int:
     """Multiplication count of computing ``ΠA`` exploiting sparsity.
 
     For a sketch with exactly ``s`` nonzeros per column, applying it to
@@ -70,12 +70,19 @@ def sketch_apply_cost(pi: MatrixLike, a: MatrixLike) -> int:
     figure quoted in the paper's introduction.  We compute the exact count
     from the actual sparsity patterns: each nonzero ``A[k, j]`` is touched
     once per nonzero in column ``k`` of ``Π``.
+
+    ``pi`` may be a dense array, a sparse matrix, or a matrix-free apply
+    kernel (anything exposing ``per_column_nnz()``); the kernel path reads
+    the pattern straight from the triplet representation, so no sketch
+    matrix is ever assembled just to price its application.
     """
     if pi.shape[1] != a.shape[0]:
         raise ValueError(
             f"incompatible shapes: pi is {pi.shape}, a is {a.shape}"
         )
-    if sp.issparse(pi):
+    if hasattr(pi, "per_column_nnz"):
+        per_column = pi.per_column_nnz()
+    elif sp.issparse(pi):
         per_column = np.diff(pi.tocsc().indptr)
     else:
         per_column = np.count_nonzero(np.asarray(pi), axis=0)

@@ -1,10 +1,16 @@
 """Sketching-matrix constructions: CountSketch, OSNAP, Gaussian, and more."""
 
-from .base import Sketch, SketchFamily
+from .base import Sketch, SketchFamily, sample_sketch
 from .compose import StackedSketch, TwoStageSketch
 from .countsketch import CountSketch
 from .gaussian import GaussianSketch
 from .hadamard_block import HadamardBlockSketch, block_hadamard_matrix
+from .kernels import (
+    ApplyKernel,
+    ColumnScatterKernel,
+    CooScatterKernel,
+    RowGatherKernel,
+)
 from .leverage_sampling import LeverageSampling
 from .osnap import OSNAP
 from .row_sampling import RowSampling
@@ -15,6 +21,11 @@ from .streaming import StreamingSketcher
 __all__ = [
     "Sketch",
     "SketchFamily",
+    "sample_sketch",
+    "ApplyKernel",
+    "ColumnScatterKernel",
+    "CooScatterKernel",
+    "RowGatherKernel",
     "StackedSketch",
     "TwoStageSketch",
     "LeverageSampling",

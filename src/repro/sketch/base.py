@@ -6,6 +6,14 @@ over matrices; calling :meth:`SketchFamily.sample` draws one concrete
 subspace embedding is the distribution, and the embedding property is a
 statement about the probability that a sampled matrix works for a fixed
 subspace.
+
+Structured sparse families additionally attach an
+:class:`~repro.sketch.kernels.ApplyKernel` to their sketches: a matrix-free
+(hash-row, sign)-style representation whose application is bit-identical to
+the materialized matmul but skips the per-trial matrix build.  With
+``sample(..., lazy=True)`` the explicit matrix is not assembled at all
+until something (structural statistics, composition, a sparse right-hand
+side) actually asks for :attr:`Sketch.matrix`.
 """
 
 from __future__ import annotations
@@ -20,8 +28,9 @@ from ..linalg.gram import max_column_sparsity
 from ..linalg.sparse_ops import densify, nnz
 from ..utils.rng import RngLike
 from ..utils.validation import check_positive_int
+from .kernels import ApplyKernel
 
-__all__ = ["Sketch", "SketchFamily"]
+__all__ = ["Sketch", "SketchFamily", "sample_sketch"]
 
 MatrixLike = Union[np.ndarray, sp.spmatrix]
 
@@ -30,20 +39,41 @@ class Sketch:
     """A concrete sampled sketching matrix ``Π ∈ R^{m×n}``.
 
     Wraps the matrix together with the family that produced it, and provides
-    the application operator and basic structural statistics.
+    the application operator and basic structural statistics.  When a
+    matrix-free ``kernel`` is attached, ``matrix`` may be ``None`` — the
+    explicit form is then assembled lazily on first access, and the
+    application/statistics helpers answer from the kernel directly.
     """
 
-    def __init__(self, matrix: MatrixLike,
-                 family: Optional["SketchFamily"] = None):
-        if matrix.ndim != 2:
+    def __init__(self, matrix: Optional[MatrixLike] = None,
+                 family: Optional["SketchFamily"] = None,
+                 kernel: Optional[ApplyKernel] = None):
+        if matrix is None and kernel is None:
+            raise ValueError(
+                "a sketch needs an explicit matrix or an apply kernel"
+            )
+        if matrix is not None and matrix.ndim != 2:
             raise ValueError("a sketch must be a matrix")
-        self._matrix = matrix
+        self._materialized = matrix
         self._family = family
+        self._kernel = kernel
 
     @property
     def matrix(self) -> MatrixLike:
-        """The underlying matrix (dense ndarray or scipy sparse)."""
-        return self._matrix
+        """The underlying matrix, assembled from the kernel on first use."""
+        if self._materialized is None:
+            self._materialized = self._kernel.materialize()
+        return self._materialized
+
+    @property
+    def kernel(self) -> Optional[ApplyKernel]:
+        """The matrix-free application kernel, when the family has one."""
+        return getattr(self, "_kernel", None)
+
+    @property
+    def is_materialized(self) -> bool:
+        """Whether the explicit matrix has been assembled."""
+        return getattr(self, "_materialized", None) is not None
 
     @property
     def family(self) -> Optional["SketchFamily"]:
@@ -52,37 +82,66 @@ class Sketch:
 
     @property
     def shape(self) -> tuple:
-        return self._matrix.shape
+        materialized = getattr(self, "_materialized", None)
+        if materialized is not None:
+            return materialized.shape
+        kernel = self.kernel
+        if kernel is not None:
+            return kernel.shape
+        return self.matrix.shape
 
     @property
     def m(self) -> int:
         """Target (row) dimension."""
-        return self._matrix.shape[0]
+        return self.shape[0]
 
     @property
     def n(self) -> int:
         """Ambient (column) dimension."""
-        return self._matrix.shape[1]
+        return self.shape[1]
 
     @property
     def nnz(self) -> int:
         """Number of nonzero entries."""
-        return nnz(self._matrix)
+        kernel = self.kernel
+        if kernel is not None and not self.is_materialized:
+            return kernel.nnz()
+        return nnz(self.matrix)
 
     @property
     def column_sparsity(self) -> int:
         """Maximum number of nonzeros in a column — the paper's ``s``."""
-        return max_column_sparsity(self._matrix)
+        kernel = self.kernel
+        if kernel is not None and not self.is_materialized:
+            return kernel.max_column_nnz()
+        return max_column_sparsity(self.matrix)
 
     def apply(self, a: MatrixLike) -> np.ndarray:
-        """Compute ``ΠA`` (or ``Πx`` for a vector), densified."""
-        a_arr = a if sp.issparse(a) else np.asarray(a, dtype=float)
+        """Compute ``ΠA`` (or ``Πx`` for a vector), densified.
+
+        Dense inputs dispatch to the matrix-free kernel when one is
+        attached (bit-identical to the materialized product); sparse
+        inputs and kernel-less sketches multiply by the explicit matrix.
+        """
+        if sp.issparse(a):
+            a_arr = a
+        else:
+            a_arr = np.asarray(a, dtype=float)
+            if a_arr.ndim not in (1, 2):
+                raise ValueError(
+                    f"can only apply a sketch to a 1-D vector or 2-D "
+                    f"matrix, got a {a_arr.ndim}-D input"
+                )
         if a_arr.shape[0] != self.n:
+            kind = "vector" if a_arr.ndim == 1 else "matrix"
             raise ValueError(
-                f"cannot apply {self.shape} sketch to input with leading "
-                f"dimension {a_arr.shape[0]}"
+                f"cannot apply {self.shape} sketch to a {kind} with "
+                f"leading dimension {a_arr.shape[0]} (expected {self.n})"
             )
-        result = self._matrix @ a_arr
+        kernel = self.kernel
+        if kernel is not None and not sp.issparse(a_arr):
+            return np.asarray(kernel.apply(a_arr), dtype=float)
+        result = self.matrix @ a_arr
         if sp.issparse(result):
             result = result.toarray()
         return np.asarray(result, dtype=float)
@@ -90,29 +149,41 @@ class Sketch:
     def basis_image(self, draw) -> np.ndarray:
         """Compute ``ΠU`` for a hard-instance draw.
 
-        Defaults to the draw's structured fast path on the explicit
-        matrix; implicit/composed sketches override to avoid
-        materialization.
+        Kernel-backed sketches answer matrix-free: structured draws via the
+        kernel's column scatter/gather (no matrix, no per-trial build),
+        unstructured draws via the kernel's dense apply.  Both are
+        bit-identical to the materialized path, which remains the fallback.
         """
-        return draw.sketched_basis(self._matrix)
+        kernel = self.kernel
+        if kernel is not None:
+            if getattr(draw, "structured", False):
+                return kernel.sketched_basis(draw)
+            return np.asarray(kernel.apply(draw.u), dtype=float)
+        return draw.sketched_basis(self.matrix)
 
     def apply_cost(self, a: MatrixLike) -> int:
         """Multiplication count of :meth:`apply` on ``a``.
 
-        Defaults to the exact sparse count; implicit-operator sketches
-        (SRHT) override with their fast-transform cost.
+        Defaults to the exact sparse count (computed from the kernel's
+        per-column sparsity when the matrix is not materialized);
+        implicit-operator sketches (SRHT) override with their
+        fast-transform cost.
         """
         from ..linalg.sparse_ops import sketch_apply_cost
 
-        return sketch_apply_cost(self._matrix, a)
+        kernel = self.kernel
+        if kernel is not None and not self.is_materialized:
+            return sketch_apply_cost(kernel, a)
+        return sketch_apply_cost(self.matrix, a)
 
     def dense(self) -> np.ndarray:
         """The sketch as a dense ndarray."""
-        return densify(self._matrix)
+        return densify(self.matrix)
 
     def __repr__(self) -> str:
         origin = f" from {self._family!r}" if self._family is not None else ""
-        return f"Sketch(shape={self.shape}, nnz={self.nnz}{origin})"
+        lazy = "" if self.is_materialized else ", lazy"
+        return f"Sketch(shape={self.shape}, nnz={self.nnz}{lazy}{origin})"
 
 
 class SketchFamily(abc.ABC):
@@ -143,8 +214,14 @@ class SketchFamily(abc.ABC):
         return type(self).__name__
 
     @abc.abstractmethod
-    def sample(self, rng: RngLike = None) -> Sketch:
-        """Draw one sketching matrix from the family."""
+    def sample(self, rng: RngLike = None, lazy: bool = False) -> Sketch:
+        """Draw one sketching matrix from the family.
+
+        ``lazy=True`` defers assembling the explicit matrix for families
+        with a matrix-free kernel; the randomness consumed is identical
+        either way, so lazy and eager draws at the same seed hold the same
+        matrix.  Families without a kernel ignore the flag.
+        """
 
     def with_m(self, m: int) -> "SketchFamily":
         """A copy of this family with a different target dimension.
@@ -163,3 +240,20 @@ class SketchFamily(abc.ABC):
 
     def __repr__(self) -> str:
         return f"{self.name}(m={self._m}, n={self._n})"
+
+
+def sample_sketch(family: SketchFamily, rng: RngLike = None,
+                  lazy: bool = False) -> Sketch:
+    """Sample from ``family``, requesting lazy materialization if supported.
+
+    Pre-``lazy`` families (external subclasses with a ``sample(rng)``
+    signature) fall back to an eager draw; the signature mismatch raises
+    before any randomness is consumed, so the fallback re-samples from the
+    same stream deterministically.
+    """
+    if not lazy:
+        return family.sample(rng)
+    try:
+        return family.sample(rng, lazy=True)
+    except TypeError:
+        return family.sample(rng)

@@ -23,7 +23,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..utils.rng import RngLike, as_generator, spawn
-from .base import Sketch, SketchFamily
+from .base import Sketch, SketchFamily, sample_sketch
 
 __all__ = ["TwoStageSketch", "StackedSketch"]
 
@@ -67,10 +67,10 @@ class TwoStageSketch(SketchFamily):
         """Resize the *outer* stage (the final dimension)."""
         return TwoStageSketch(self._inner, self._outer.with_m(m))
 
-    def sample(self, rng: RngLike = None) -> Sketch:
+    def sample(self, rng: RngLike = None, lazy: bool = False) -> Sketch:
         gen = as_generator(rng)
-        inner = self._inner.sample(spawn(gen))
-        outer = self._outer.sample(spawn(gen))
+        inner = sample_sketch(self._inner, spawn(gen), lazy=lazy)
+        outer = sample_sketch(self._outer, spawn(gen), lazy=lazy)
         composed = _ComposedSketch(inner, outer, self)
         return composed
 
@@ -154,7 +154,9 @@ class StackedSketch(SketchFamily):
         inner = ", ".join(f.name for f in self._families)
         return f"Stacked[{inner}]"
 
-    def sample(self, rng: RngLike = None) -> Sketch:
+    def sample(self, rng: RngLike = None, lazy: bool = False) -> Sketch:
+        # Stacking needs every block materialized anyway; ``lazy`` is a
+        # no-op beyond interface uniformity.
         gen = as_generator(rng)
         scale = 1.0 / np.sqrt(len(self._families))
         blocks = []

@@ -17,6 +17,7 @@ from ..linalg.sparse_ops import from_triplets
 from ..utils.rng import RngLike, as_generator
 from ..utils.validation import check_epsilon, check_probability
 from .base import Sketch, SketchFamily
+from .kernels import ColumnScatterKernel
 
 __all__ = ["CountSketch"]
 
@@ -35,14 +36,24 @@ class CountSketch(SketchFamily):
     #: Column sparsity of every sampled sketch.
     column_sparsity = 1
 
-    def sample(self, rng: RngLike = None) -> Sketch:
-        """Sample ``Π``: per column one ±1 entry in a uniform row."""
+    def sample(self, rng: RngLike = None, lazy: bool = False) -> Sketch:
+        """Sample ``Π``: per column one ±1 entry in a uniform row.
+
+        The sketch carries a matrix-free :class:`ColumnScatterKernel`
+        (its one-nonzero-per-column layout is already canonical CSC);
+        ``lazy=True`` skips assembling the scipy matrix entirely.
+        """
         gen = as_generator(rng)
         rows = gen.integers(0, self.m, size=self.n)
         signs = gen.choice((-1.0, 1.0), size=self.n)
-        cols = np.arange(self.n)
-        matrix = from_triplets(rows, cols, signs, (self.m, self.n))
-        return Sketch(matrix, family=self)
+        kernel = ColumnScatterKernel(
+            rows[np.newaxis, :], signs[np.newaxis, :], (self.m, self.n)
+        )
+        matrix = None
+        if not lazy:
+            cols = np.arange(self.n)
+            matrix = from_triplets(rows, cols, signs, (self.m, self.n))
+        return Sketch(matrix, family=self, kernel=kernel)
 
     @staticmethod
     def recommended_m(d: int, epsilon: float, delta: float,

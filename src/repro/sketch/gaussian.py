@@ -21,7 +21,9 @@ __all__ = ["GaussianSketch"]
 class GaussianSketch(SketchFamily):
     """Family of dense ``m × n`` matrices with i.i.d. ``N(0, 1/m)`` entries."""
 
-    def sample(self, rng: RngLike = None) -> Sketch:
+    def sample(self, rng: RngLike = None, lazy: bool = False) -> Sketch:
+        # ``lazy`` is accepted for interface uniformity; a dense Gaussian
+        # matrix has no matrix-free structure to defer.
         gen = as_generator(rng)
         matrix = gen.standard_normal((self.m, self.n)) / math.sqrt(self.m)
         return Sketch(matrix, family=self)

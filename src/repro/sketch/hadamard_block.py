@@ -123,7 +123,9 @@ class HadamardBlockSketch(SketchFamily):
             )
         return self._base
 
-    def sample(self, rng: RngLike = None) -> Sketch:
+    def sample(self, rng: RngLike = None, lazy: bool = False) -> Sketch:
+        # Deterministic base matrix is cached on the family; ``lazy`` is a
+        # no-op beyond interface uniformity.
         matrix = self._base_matrix()
         if self._permute:
             gen = as_generator(rng)

@@ -30,6 +30,7 @@ from ..utils.validation import (
     check_probability,
 )
 from .base import Sketch, SketchFamily
+from .kernels import ColumnScatterKernel
 
 __all__ = ["OSNAP"]
 
@@ -101,8 +102,13 @@ class OSNAP(SketchFamily):
             params["m"] += self._s - params["m"] % self._s
         return OSNAP(**params)
 
-    def sample(self, rng: RngLike = None) -> Sketch:
-        """Sample an OSNAP matrix with exactly ``s`` nonzeros per column."""
+    def sample(self, rng: RngLike = None, lazy: bool = False) -> Sketch:
+        """Sample an OSNAP matrix with exactly ``s`` nonzeros per column.
+
+        The sketch carries a matrix-free :class:`ColumnScatterKernel`
+        (rows sorted within each column into canonical CSC order);
+        ``lazy=True`` skips assembling the scipy matrix entirely.
+        """
         gen = as_generator(rng)
         s, m, n = self._s, self.m, self.n
         if self._variant == "uniform":
@@ -113,12 +119,20 @@ class OSNAP(SketchFamily):
             rows = offsets + gen.integers(0, block, size=(s, n))
         signs = gen.choice((-1.0, 1.0), size=(s, n))
         values = signs / math.sqrt(s)
-        cols = np.broadcast_to(np.arange(n), (s, n))
-        matrix = from_triplets(
-            rows.ravel(), np.ascontiguousarray(cols).ravel(),
-            values.ravel(), (m, n)
+        order = np.argsort(rows, axis=0, kind="stable")
+        kernel = ColumnScatterKernel(
+            np.take_along_axis(rows, order, axis=0),
+            np.take_along_axis(values, order, axis=0),
+            (m, n),
         )
-        return Sketch(matrix, family=self)
+        matrix = None
+        if not lazy:
+            cols = np.broadcast_to(np.arange(n), (s, n))
+            matrix = from_triplets(
+                rows.ravel(), np.ascontiguousarray(cols).ravel(),
+                values.ravel(), (m, n)
+            )
+        return Sketch(matrix, family=self, kernel=kernel)
 
     @staticmethod
     def _sample_rows_without_replacement(gen: np.random.Generator, s: int,

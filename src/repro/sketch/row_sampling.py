@@ -16,6 +16,7 @@ import scipy.sparse as sp
 
 from ..utils.rng import RngLike, as_generator
 from .base import Sketch, SketchFamily
+from .kernels import RowGatherKernel
 
 __all__ = ["RowSampling"]
 
@@ -28,15 +29,20 @@ class RowSampling(SketchFamily):
         if m > n:
             raise ValueError(f"cannot sample m={m} rows from n={n}")
 
-    def sample(self, rng: RngLike = None) -> Sketch:
+    def sample(self, rng: RngLike = None, lazy: bool = False) -> Sketch:
+        """Sample ``Π``; application is a pure row gather (kernel-backed)."""
         gen = as_generator(rng)
         rows = gen.choice(self.n, size=self.m, replace=False)
         scale = math.sqrt(self.n / self.m)
-        matrix = sp.csc_matrix(
-            (np.full(self.m, scale), (np.arange(self.m), rows)),
-            shape=(self.m, self.n),
-        )
-        return Sketch(matrix, family=self)
+        values = np.full(self.m, scale)
+        kernel = RowGatherKernel(rows, values, (self.m, self.n))
+        matrix = None
+        if not lazy:
+            matrix = sp.csc_matrix(
+                (values, (np.arange(self.m), rows)),
+                shape=(self.m, self.n),
+            )
+        return Sketch(matrix, family=self, kernel=kernel)
 
     def with_m(self, m: int) -> "RowSampling":
         return RowSampling(m=min(m, self.n), n=self.n)

@@ -19,6 +19,7 @@ import scipy.sparse as sp
 from ..utils.rng import RngLike, as_generator
 from ..utils.validation import check_probability
 from .base import Sketch, SketchFamily
+from .kernels import CooScatterKernel
 
 __all__ = ["SparseJL"]
 
@@ -57,7 +58,12 @@ class SparseJL(SketchFamily):
     def _resize_params(self) -> dict:
         return {"m": self.m, "n": self.n, "q": self._q}
 
-    def sample(self, rng: RngLike = None) -> Sketch:
+    def sample(self, rng: RngLike = None, lazy: bool = False) -> Sketch:
+        """Sample ``Π``; the sparse path carries a matrix-free kernel.
+
+        The dense regime (``q ≥ 0.5``) has no useful sparse structure, so
+        it always materializes and ignores ``lazy``.
+        """
         gen = as_generator(rng)
         scale = 1.0 / math.sqrt(self._q * self.m)
         if self._q >= 0.5:
@@ -71,7 +77,12 @@ class SparseJL(SketchFamily):
         flat = gen.choice(total, size=count, replace=False)
         rows, cols = np.divmod(flat, self.n)
         values = gen.choice((-1.0, 1.0), size=count) * scale
-        matrix = sp.coo_matrix(
-            (values, (rows, cols)), shape=(self.m, self.n)
-        ).tocsc()
-        return Sketch(matrix, family=self)
+        kernel = CooScatterKernel.from_triplets(
+            rows, cols, values, (self.m, self.n)
+        )
+        matrix = None
+        if not lazy:
+            matrix = sp.coo_matrix(
+                (values, (rows, cols)), shape=(self.m, self.n)
+            ).tocsc()
+        return Sketch(matrix, family=self, kernel=kernel)

@@ -123,7 +123,8 @@ class SRHT(SketchFamily):
         if m > n:
             raise ValueError(f"SRHT requires m ≤ n, got m={m}, n={n}")
 
-    def sample(self, rng: RngLike = None) -> Sketch:
+    def sample(self, rng: RngLike = None, lazy: bool = False) -> Sketch:
+        # SRHT is already implicit (FWHT-based); ``lazy`` is a no-op.
         gen = as_generator(rng)
         signs = gen.choice((-1.0, 1.0), size=self.n)
         rows = gen.choice(self.n, size=self.m, replace=False)

@@ -1,0 +1,75 @@
+"""Golden-data generator for the distortion-stream regression pins.
+
+Run from the repository root after an *intentional* change to the trial
+stream (new RNG consumption order, different trial seeding, changed
+distortion arithmetic)::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+Keep the diff in review: a regenerated file means every previously
+recorded experiment number is potentially stale.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.hardinstances.dbeta import DBeta
+from repro.sketch import (
+    OSNAP,
+    CountSketch,
+    GaussianSketch,
+    LeverageSampling,
+    RowSampling,
+    SparseJL,
+)
+
+GOLDEN_PATH = Path(__file__).with_name("distortion_streams.json")
+GOLDEN_SEED = 20220620  # PODS'22 vintage
+GOLDEN_TRIALS = 24
+
+_N = 192
+
+
+def cases():
+    """(name, family, instance) triples pinned by the golden file."""
+    gen = np.random.default_rng(2024)
+    p = gen.random(_N)
+    p /= p.sum()
+    return [
+        ("countsketch", CountSketch(96, _N), DBeta(_N, 6, reps=1)),
+        ("osnap-uniform", OSNAP(96, _N, s=4), DBeta(_N, 6, reps=2)),
+        ("osnap-block", OSNAP(96, _N, s=4, variant="block"),
+         DBeta(_N, 6, reps=2)),
+        ("sparsejl", SparseJL(96, _N, q=0.05), DBeta(_N, 4, reps=8)),
+        ("rowsampling", RowSampling(64, _N), DBeta(_N, 6, reps=1)),
+        ("leverage", LeverageSampling(64, _N, probabilities=p),
+         DBeta(_N, 6, reps=1)),
+        ("gaussian", GaussianSketch(48, _N), DBeta(_N, 6, reps=2)),
+        ("countsketch-iid-rows", CountSketch(96, _N),
+         DBeta(_N, 6, reps=2, distinct_rows=False)),
+    ]
+
+
+def main():
+    from repro.core.tester import distortion_samples
+
+    streams = {}
+    for name, family, instance in cases():
+        values = distortion_samples(
+            family, instance, trials=GOLDEN_TRIALS,
+            rng=np.random.SeedSequence(GOLDEN_SEED),
+        )
+        streams[name] = [float(v) for v in values]
+    payload = {
+        "seed": GOLDEN_SEED,
+        "trials": GOLDEN_TRIALS,
+        "streams": streams,
+    }
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH} ({len(streams)} streams)")
+
+
+if __name__ == "__main__":
+    main()

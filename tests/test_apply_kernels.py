@@ -1,0 +1,425 @@
+"""Equivalence suite for the matrix-free apply kernels.
+
+The contract under test (see :mod:`repro.sketch.kernels`) is *bit*
+identity, not numerical closeness: every kernel operation must reproduce
+the materialized scipy path exactly (``np.array_equal``), so that the
+Monte-Carlo trial engine can run matrix-free without perturbing a single
+recorded experiment number.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.tester import distortion_samples, failure_estimate
+from repro.hardinstances.dbeta import DBeta
+from repro.linalg.sparse_ops import sketch_apply_cost
+from repro.sketch import (
+    OSNAP,
+    CountSketch,
+    LeverageSampling,
+    RowSampling,
+    Sketch,
+    SparseJL,
+    sample_sketch,
+)
+from repro.sketch.kernels import (
+    SCATTER_MAX_COLUMNS,
+    SCATTER_MAX_REPS,
+    ColumnScatterKernel,
+    CooScatterKernel,
+    RowGatherKernel,
+)
+
+pytestmark = pytest.mark.kernels
+
+N = 192
+M = 96
+
+
+def _leverage_family(m=M, n=N):
+    gen = np.random.default_rng(2024)
+    p = gen.random(n)
+    p /= p.sum()
+    return LeverageSampling(m, n, probabilities=p)
+
+
+FAMILIES = [
+    pytest.param(lambda: CountSketch(M, N), id="countsketch"),
+    pytest.param(lambda: OSNAP(M, N, s=4), id="osnap-uniform"),
+    pytest.param(lambda: OSNAP(M, N, s=4, variant="block"), id="osnap-block"),
+    pytest.param(lambda: SparseJL(M, N, q=0.05), id="sparsejl"),
+    pytest.param(lambda: RowSampling(M, N), id="rowsampling"),
+    pytest.param(_leverage_family, id="leverage"),
+]
+
+#: Input builders covering dtypes, layouts and contiguity.  Each returns an
+#: array with leading dimension ``n``.
+INPUTS = [
+    pytest.param(lambda gen, n: gen.standard_normal((n, 16)), id="tall-f8"),
+    pytest.param(lambda gen, n: gen.standard_normal((n, 3)), id="narrow-f8"),
+    pytest.param(lambda gen, n: gen.standard_normal((n, 1)), id="one-col"),
+    pytest.param(
+        lambda gen, n: gen.standard_normal((n, SCATTER_MAX_COLUMNS)),
+        id="at-cutoff",
+    ),
+    pytest.param(
+        lambda gen, n: gen.standard_normal((n, SCATTER_MAX_COLUMNS + 1)),
+        id="past-cutoff",
+    ),
+    pytest.param(lambda gen, n: gen.standard_normal(n), id="vector-f8"),
+    pytest.param(
+        lambda gen, n: gen.standard_normal((n, 8)).astype(np.float32),
+        id="tall-f4",
+    ),
+    pytest.param(
+        lambda gen, n: gen.standard_normal(n).astype(np.float32),
+        id="vector-f4",
+    ),
+    pytest.param(
+        lambda gen, n: np.asfortranarray(gen.standard_normal((n, 8))),
+        id="fortran",
+    ),
+    pytest.param(
+        lambda gen, n: gen.standard_normal((n, 16))[:, ::2],
+        id="noncontiguous-cols",
+    ),
+    pytest.param(
+        lambda gen, n: gen.standard_normal((2 * n, 8))[::2],
+        id="noncontiguous-rows",
+    ),
+]
+
+
+def _sparse_equal(a, b) -> bool:
+    """Exact equality of two sparse matrices (structure and values)."""
+    a = a.tocsc()
+    b = b.tocsc()
+    a.sort_indices()
+    b.sort_indices()
+    return (
+        a.shape == b.shape
+        and np.array_equal(a.indptr, b.indptr)
+        and np.array_equal(a.indices, b.indices)
+        and np.array_equal(a.data, b.data)
+    )
+
+
+class TestApplyBitIdentity:
+    @pytest.mark.parametrize("make_family", FAMILIES)
+    @pytest.mark.parametrize("make_input", INPUTS)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_kernel_apply_matches_matmul(self, make_family, make_input, seed):
+        family = make_family()
+        sketch = family.sample(np.random.SeedSequence(seed))
+        kernel = sketch.kernel
+        assert kernel is not None
+        a = make_input(np.random.default_rng(seed + 100), family.n)
+        expected = sketch.matrix @ np.asarray(a, dtype=float)
+        if sp.issparse(expected):
+            expected = expected.toarray()
+        assert np.array_equal(kernel.apply(a), np.asarray(expected))
+
+    @pytest.mark.parametrize("make_family", FAMILIES)
+    @pytest.mark.parametrize("make_input", INPUTS)
+    def test_sketch_apply_dispatches_to_kernel(self, make_family, make_input):
+        """``Sketch.apply`` (lazy) equals the materialized product exactly."""
+        family = make_family()
+        lazy = sample_sketch(family, np.random.SeedSequence(5), lazy=True)
+        eager = family.sample(np.random.SeedSequence(5))
+        a = make_input(np.random.default_rng(55), family.n)
+        assert np.array_equal(lazy.apply(a), eager.apply(a))
+
+    @pytest.mark.parametrize("make_family", FAMILIES)
+    def test_sparse_input_falls_back_to_matrix(self, make_family):
+        family = make_family()
+        sketch = sample_sketch(family, np.random.SeedSequence(9), lazy=True)
+        a = sp.random(
+            family.n, 6, density=0.2, format="csr",
+            random_state=np.random.default_rng(3),
+        )
+        expected = sketch.matrix @ a
+        if sp.issparse(expected):
+            expected = expected.toarray()
+        assert np.array_equal(sketch.apply(a), np.asarray(expected))
+        assert sketch.is_materialized
+
+
+class TestMaterialization:
+    @pytest.mark.parametrize("make_family", FAMILIES)
+    @pytest.mark.parametrize("seed", [0, 3, 7])
+    def test_lazy_and_eager_hold_identical_matrices(self, make_family, seed):
+        family = make_family()
+        eager = family.sample(np.random.SeedSequence(seed))
+        lazy = sample_sketch(
+            family, np.random.SeedSequence(seed), lazy=True
+        )
+        assert not lazy.is_materialized
+        assert _sparse_equal(lazy.matrix, eager.matrix)
+        assert lazy.is_materialized
+
+    @pytest.mark.parametrize("make_family", FAMILIES)
+    def test_kernel_statistics_match_matrix(self, make_family):
+        family = make_family()
+        lazy = sample_sketch(family, np.random.SeedSequence(17), lazy=True)
+        eager = family.sample(np.random.SeedSequence(17))
+        # Read the statistics BEFORE materialization: they must come from
+        # the kernel and still agree with the matrix-derived values.
+        kernel_nnz = lazy.nnz
+        kernel_s = lazy.column_sparsity
+        assert not lazy.is_materialized
+        assert kernel_nnz == eager.nnz
+        assert kernel_s == eager.column_sparsity
+        assert lazy.shape == eager.shape
+
+    @pytest.mark.parametrize("make_family", FAMILIES)
+    def test_apply_cost_matches_matrix_path(self, make_family):
+        family = make_family()
+        lazy = sample_sketch(family, np.random.SeedSequence(21), lazy=True)
+        eager = family.sample(np.random.SeedSequence(21))
+        gen = np.random.default_rng(0)
+        a = gen.standard_normal((family.n, 5))
+        a[gen.random(a.shape) < 0.5] = 0.0
+        assert not lazy.is_materialized
+        assert lazy.apply_cost(a) == eager.apply_cost(a)
+        assert sketch_apply_cost(lazy.kernel, a) == \
+            sketch_apply_cost(eager.matrix, a)
+
+    def test_lazy_repr_flags_deferred_matrix(self):
+        lazy = sample_sketch(
+            CountSketch(8, 16), np.random.SeedSequence(0), lazy=True
+        )
+        assert ", lazy" in repr(lazy)
+        lazy.matrix
+        assert ", lazy" not in repr(lazy)
+
+
+class TestBasisImage:
+    @pytest.mark.parametrize("make_family", FAMILIES)
+    @pytest.mark.parametrize("reps", [1, 2, SCATTER_MAX_REPS,
+                                      2 * SCATTER_MAX_REPS])
+    @pytest.mark.parametrize("distinct_rows", [True, False])
+    def test_structured_draw_bit_identity(self, make_family, reps,
+                                          distinct_rows):
+        family = make_family()
+        d = max(1, 32 // reps)
+        instance = DBeta(family.n, d, reps=reps, distinct_rows=distinct_rows)
+        draw = instance.sample_draw(np.random.SeedSequence(4))
+        eager = family.sample(np.random.SeedSequence(8))
+        lazy = sample_sketch(family, np.random.SeedSequence(8), lazy=True)
+        expected = draw.sketched_basis(eager.matrix)
+        assert np.array_equal(lazy.basis_image(draw), expected)
+        assert not lazy.is_materialized
+
+    @pytest.mark.parametrize("make_family", FAMILIES)
+    def test_unstructured_draw_bit_identity(self, make_family):
+        family = make_family()
+        instance = DBeta(family.n, 8, reps=2)
+        draw = instance.sample_draw(np.random.SeedSequence(6))
+        unstructured = type(draw)(
+            u=draw.u, rows=draw.rows, signs=draw.signs, reps=draw.reps,
+            structured=False,
+        )
+        eager = family.sample(np.random.SeedSequence(2))
+        lazy = sample_sketch(family, np.random.SeedSequence(2), lazy=True)
+        expected = unstructured.sketched_basis(eager.matrix)
+        assert np.array_equal(lazy.basis_image(unstructured), expected)
+
+    def test_combine_sketched_columns_refactor_matches(self):
+        """``sketched_basis`` is gather + combine, exactly."""
+        instance = DBeta(N, 8, reps=4)
+        draw = instance.sample_draw(np.random.SeedSequence(1))
+        pi = CountSketch(M, N).sample(np.random.SeedSequence(1)).matrix
+        sub = np.asarray(pi.tocsc()[:, draw.rows].toarray(), dtype=float)
+        assert np.array_equal(
+            draw.sketched_basis(pi), draw.combine_sketched_columns(sub)
+        )
+
+
+class TestTrialEngineDeterminism:
+    @pytest.mark.parametrize("make_family", FAMILIES)
+    def test_failure_estimate_workers_invariant(self, make_family):
+        """Lazy kernel path: identical estimates at workers=1 and 4."""
+        family = make_family()
+        instance = DBeta(family.n, 4, reps=2)
+        kwargs = dict(epsilon=0.5, trials=24)
+        est1 = failure_estimate(
+            family, instance, rng=np.random.SeedSequence(33),
+            workers=1, **kwargs
+        )
+        est4 = failure_estimate(
+            family, instance, rng=np.random.SeedSequence(33),
+            workers=4, **kwargs
+        )
+        assert est1.successes == est4.successes
+        assert est1.trials == est4.trials
+
+    @pytest.mark.parametrize("make_family", FAMILIES)
+    def test_trial_stream_matches_materialized_engine(self, make_family,
+                                                      monkeypatch):
+        """The kernel-backed trial stream equals the pre-kernel one.
+
+        Forcing eager sampling with a stripped kernel reproduces the
+        engine as it was before the matrix-free path existed; the
+        distortion sequence must be bit-identical.
+        """
+        import repro.core.tester as tester
+
+        family = make_family()
+        instance = DBeta(family.n, 4, reps=SCATTER_MAX_REPS)
+        new = distortion_samples(
+            family, instance, trials=16, rng=np.random.SeedSequence(12)
+        )
+
+        def eager_no_kernel(fam, rng=None, lazy=False):
+            sketch = fam.sample(rng)
+            return Sketch(sketch.matrix, family=fam)
+
+        monkeypatch.setattr(tester, "sample_sketch", eager_no_kernel)
+        old = distortion_samples(
+            family, instance, trials=16, rng=np.random.SeedSequence(12)
+        )
+        assert np.array_equal(new, old)
+
+
+class TestApplyValidation:
+    @pytest.fixture
+    def sketch(self):
+        return CountSketch(8, 32).sample(np.random.SeedSequence(0))
+
+    def test_scalar_input_rejected(self, sketch):
+        with pytest.raises(ValueError, match="0-D"):
+            sketch.apply(3.0)
+
+    def test_three_dimensional_input_rejected(self, sketch):
+        with pytest.raises(ValueError, match="3-D"):
+            sketch.apply(np.zeros((32, 2, 2)))
+
+    def test_vector_with_wrong_length(self, sketch):
+        with pytest.raises(ValueError, match="vector with leading dimension"):
+            sketch.apply(np.zeros(31))
+
+    def test_matrix_with_wrong_leading_dimension(self, sketch):
+        with pytest.raises(ValueError, match="matrix with leading dimension"):
+            sketch.apply(np.zeros((16, 4)))
+
+    def test_lazy_sketch_validates_identically(self):
+        lazy = sample_sketch(
+            CountSketch(8, 32), np.random.SeedSequence(0), lazy=True
+        )
+        with pytest.raises(ValueError, match="vector with leading dimension"):
+            lazy.apply(np.zeros(31))
+        assert not lazy.is_materialized
+
+    def test_vector_apply_returns_vector(self, sketch):
+        out = sketch.apply(np.ones(32))
+        assert out.shape == (8,)
+
+
+class TestKernelConstruction:
+    def test_column_scatter_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="share"):
+            ColumnScatterKernel(
+                np.zeros((2, 4), dtype=int), np.zeros((3, 4)), (8, 4)
+            )
+
+    def test_column_scatter_rejects_out_of_range_rows(self):
+        with pytest.raises(ValueError, match="row index"):
+            ColumnScatterKernel(
+                np.full((1, 4), 8), np.ones((1, 4)), (8, 4)
+            )
+
+    def test_row_gather_rejects_out_of_range_cols(self):
+        with pytest.raises(ValueError, match="column index"):
+            RowGatherKernel(np.array([0, 9]), np.ones(2), (2, 4))
+
+    def test_coo_rejects_non_canonical_order(self):
+        with pytest.raises(ValueError, match="canonical"):
+            CooScatterKernel(
+                np.array([1, 0]), np.array([0, 0]), np.ones(2), (4, 4)
+            )
+
+    def test_coo_from_triplets_canonicalizes(self):
+        kernel = CooScatterKernel.from_triplets(
+            np.array([1, 0, 2]), np.array([1, 1, 0]), np.array([2.0, 3.0, 4.0]),
+            (4, 4),
+        )
+        dense = kernel.materialize().toarray()
+        expected = np.zeros((4, 4))
+        expected[1, 1], expected[0, 1], expected[2, 0] = 2.0, 3.0, 4.0
+        assert np.array_equal(dense, expected)
+
+    def test_sample_sketch_falls_back_for_pre_lazy_families(self):
+        class OldStyle:
+            def __init__(self):
+                self.calls = []
+
+            def sample(self, rng=None):
+                self.calls.append(rng)
+                return Sketch(np.eye(3))
+
+        family = OldStyle()
+        sketch = sample_sketch(family, np.random.SeedSequence(0), lazy=True)
+        assert isinstance(sketch, Sketch)
+        assert len(family.calls) == 1
+
+
+class TestKernelProperties:
+    """Hypothesis sweeps over shapes and seeds."""
+
+    @given(
+        m=st.integers(min_value=1, max_value=48),
+        n=st.integers(min_value=1, max_value=96),
+        s=st.integers(min_value=1, max_value=6),
+        cols=st.integers(min_value=1, max_value=9),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_osnap_kernel_equivalence(self, m, n, s, cols, seed):
+        s = min(s, m)
+        family = OSNAP(m, n, s=s)
+        sketch = family.sample(np.random.SeedSequence(seed))
+        a = np.random.default_rng(seed).standard_normal((n, cols))
+        assert np.array_equal(
+            sketch.kernel.apply(a), np.asarray(sketch.matrix @ a)
+        )
+
+    @given(
+        m=st.integers(min_value=1, max_value=48),
+        n=st.integers(min_value=1, max_value=96),
+        q=st.floats(min_value=0.01, max_value=0.4),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_sparsejl_kernel_equivalence(self, m, n, q, seed):
+        family = SparseJL(m, n, q=q)
+        sketch = family.sample(np.random.SeedSequence(seed))
+        a = np.random.default_rng(seed).standard_normal(n)
+        assert np.array_equal(
+            sketch.kernel.apply(a), np.asarray(sketch.matrix @ a)
+        )
+
+    @given(
+        m=st.integers(min_value=1, max_value=48),
+        reps=st.integers(min_value=1, max_value=12),
+        d=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_countsketch_basis_image_equivalence(self, m, reps, d, seed):
+        n = max(96, reps * d)
+        family = CountSketch(m, n)
+        instance = DBeta(n, d, reps=reps)
+        draw = instance.sample_draw(np.random.SeedSequence(seed))
+        eager = family.sample(np.random.SeedSequence(seed + 1))
+        lazy = sample_sketch(
+            family, np.random.SeedSequence(seed + 1), lazy=True
+        )
+        assert np.array_equal(
+            lazy.basis_image(draw), draw.sketched_basis(eager.matrix)
+        )

@@ -1,0 +1,59 @@
+"""Golden regression pins on the Monte-Carlo trial stream.
+
+``tests/golden/distortion_streams.json`` records, for each sketch family,
+the exact distortion sequence produced by :func:`distortion_samples` at a
+fixed ``SeedSequence``.  Any change to RNG consumption, trial seeding, the
+kernel dispatch, or the distortion arithmetic shows up here as a diff —
+the values were recorded from the materialized-matmul engine, so they also
+re-certify the kernels' bit-identity contract on every run.
+
+Comparison uses a tight relative tolerance (1e-9) rather than exact
+equality only to absorb BLAS/LAPACK differences across platforms in the
+SVD inside ``distortion_of_product``; everything upstream of the SVD is
+required to be bit-identical (see tests/test_apply_kernels.py).
+
+To regenerate after an *intentional* change to the trial stream::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.tester import distortion_samples
+
+from golden.regenerate import GOLDEN_PATH, GOLDEN_SEED, GOLDEN_TRIALS, cases
+
+pytestmark = pytest.mark.kernels
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+def test_golden_file_covers_every_case(golden):
+    assert sorted(golden["streams"]) == sorted(name for name, _, _ in cases())
+
+
+@pytest.mark.parametrize(
+    "name,family,instance",
+    [pytest.param(*case, id=case[0]) for case in cases()],
+)
+def test_distortion_stream_unchanged(name, family, instance, golden):
+    recorded = np.asarray(golden["streams"][name], dtype=float)
+    current = distortion_samples(
+        family, instance, trials=GOLDEN_TRIALS,
+        rng=np.random.SeedSequence(GOLDEN_SEED),
+    )
+    assert current.shape == recorded.shape
+    np.testing.assert_allclose(current, recorded, rtol=1e-9, atol=0.0)
+
+
+def test_golden_metadata_matches_parameters(golden):
+    assert golden["seed"] == GOLDEN_SEED
+    assert golden["trials"] == GOLDEN_TRIALS
