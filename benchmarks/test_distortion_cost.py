@@ -6,7 +6,6 @@ These benches track both, including the structured fast path that makes
 the threshold sweeps feasible.
 """
 
-import numpy as np
 import pytest
 
 from repro.hardinstances.dbeta import DBeta

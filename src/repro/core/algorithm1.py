@@ -204,7 +204,6 @@ class GreedyPairFinder:
         result = PairFinderResult()
         surviving = set(range(self._chosen.size))  # the paper's S_k (0-based)
         k = 1
-        heavy_at = None  # Π column ids with a heavy entry at ℓ (row event)
 
         for j in range(self._iterations):
             # ---- while-loop: retire rows until φ is small or S'_k hits --

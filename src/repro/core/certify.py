@@ -91,6 +91,40 @@ class Certificate:
         )
 
 
+def _strongest_pair(pi: MatrixLike, pairs) -> Optional[tuple]:
+    """``(ci, cj, <Π_ci, Π_cj>)`` maximizing ``|<Π_ci, Π_cj>|`` over pairs.
+
+    Sparse inputs densify the union of referenced columns exactly once,
+    up front, so the scoring loop itself stays free of per-pair
+    ``toarray`` calls; the inner products are bit-identical to slicing
+    and densifying inside the loop.
+    """
+    if sp.issparse(pi):
+        cols = sorted({int(c) for pair in pairs for c in pair})
+        lookup = {c: k for k, c in enumerate(cols)}
+        # F-order keeps each column contiguous, matching the memory layout
+        # (and therefore the BLAS accumulation) of a per-pair
+        # ``dense[:, c].toarray().ravel()``.
+        block = np.asarray(
+            pi.tocsc()[:, cols].toarray(), dtype=float, order="F"
+        )
+
+        def column(c: int) -> np.ndarray:
+            return block[:, lookup[int(c)]]
+    else:
+        arr = np.asarray(pi, dtype=float)
+
+        def column(c: int) -> np.ndarray:
+            return arr[:, int(c)]
+
+    best = None
+    for ci, cj in pairs:
+        value = float(column(ci) @ column(cj))
+        if best is None or abs(value) > abs(best[2]):
+            best = (ci, cj, value)
+    return best
+
+
 def witness_from_algorithm1(pi: MatrixLike, draw: HardDraw, epsilon: float,
                             trials: int = 2048,
                             rng: RngLike = None) -> Optional[WitnessReport]:
@@ -123,21 +157,10 @@ def witness_from_algorithm1(pi: MatrixLike, draw: HardDraw, epsilon: float,
     # Map output column pairs back to V-column indices and test Lemma 4's
     # threshold (λ = 8 − κ > 2) on the strongest pair.
     threshold = (8.0 - KAPPA) * epsilon * draw.reps
-    dense = pi.tocsc() if sp.issparse(pi) else np.asarray(pi, dtype=float)
     col_to_vpos = {}
     for j, c in enumerate(draw.rows):
         col_to_vpos.setdefault(int(c), j)
-    best = None
-    for ci, cj in result.pairs:
-        if sp.issparse(dense):
-            a = np.asarray(dense[:, ci].toarray()).ravel()
-            b = np.asarray(dense[:, cj].toarray()).ravel()
-        else:
-            a = dense[:, ci]
-            b = dense[:, cj]
-        value = float(a @ b)
-        if best is None or abs(value) > abs(best[2]):
-            best = (ci, cj, value)
+    best = _strongest_pair(pi, result.pairs)
     if best is None or abs(best[2]) < threshold:
         return None
     ci, cj, value = best
@@ -200,21 +223,10 @@ def witness_from_algorithm2(pi: MatrixLike, draw: HardDraw, epsilon: float,
     # ~2^{-l} >= 8 eps * 2^{l'} = (8 eps)/beta on successful pairs.
     threshold = max(2.0 ** (-level) - KAPPA * epsilon,
                     2.5 * epsilon * draw.reps)
-    dense = pi.tocsc() if sp.issparse(pi) else np.asarray(pi, dtype=float)
     col_to_vpos = {}
     for j, c in enumerate(draw.rows):
         col_to_vpos.setdefault(int(c), j)
-    best = None
-    for ci, cj in result.pairs:
-        if sp.issparse(dense):
-            a = np.asarray(dense[:, ci].toarray()).ravel()
-            b = np.asarray(dense[:, cj].toarray()).ravel()
-        else:
-            a = dense[:, ci]
-            b = dense[:, cj]
-        value = float(a @ b)
-        if best is None or abs(value) > abs(best[2]):
-            best = (ci, cj, value)
+    best = _strongest_pair(pi, result.pairs)
     if best is None or abs(best[2]) < threshold:
         return None
     ci, cj, value = best

@@ -78,7 +78,8 @@ def failure_estimate(family: SketchFamily, instance: HardInstance,
             f"({instance.n})"
         )
     gen = as_generator(rng)
-    fixed = None if fresh_sketch else family.sample(spawn(gen))
+    fixed = None if fresh_sketch \
+        else sample_sketch(family, spawn(gen), lazy=True)
     executor = TrialExecutor(workers=workers, chunk_size=chunk_size)
     distortions = executor.run(
         partial(_distortion_trial, family, instance, fixed), trials, gen

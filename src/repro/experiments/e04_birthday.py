@@ -64,7 +64,9 @@ class BirthdayCollisionExperiment(Experiment):
             rank_drops = 0
             failures = 0
             for _ in range(trials):
-                sketch = family.sample(spawn(rng))
+                # Eager on purpose: collision/rank checks read the
+                # explicit matrix immediately below.
+                sketch = family.sample(spawn(rng), lazy=False)
                 draw = instance.sample_draw(spawn(rng))
                 collided = has_bucket_collision(
                     sketch.matrix, draw.rows, 1.0 - epsilon, 1.0 + epsilon

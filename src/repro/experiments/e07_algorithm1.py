@@ -74,7 +74,8 @@ class Algorithm1Experiment(Experiment):
             greedy_hits = 0
             exhaustive_hits = 0
             for _ in range(trials):
-                sketch = family.sample(spawn(rng))
+                # Eager on purpose: Algorithm 1 walks the explicit matrix.
+                sketch = family.sample(spawn(rng), lazy=False)
                 pi = sketch.matrix
                 draw = instance.sample_draw(spawn(rng))
                 good = good_columns(pi, epsilon, theta, min_heavy)

@@ -65,7 +65,9 @@ class HadamardTightnessExperiment(Experiment):
             svd_failures = 0
             witness_hits = 0
             for _ in range(trials):
-                sketch = family.sample(spawn(rng))
+                # Eager on purpose: the witness search below reads the
+                # explicit matrix.
+                sketch = family.sample(spawn(rng), lazy=False)
                 draw = instance.sample_draw(spawn(rng))
                 failed = distortion_of_product(
                     draw.sketched_basis(sketch.matrix)

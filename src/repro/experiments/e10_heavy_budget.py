@@ -65,7 +65,9 @@ class HeavyBudgetExperiment(Experiment):
         sound_everywhere = True
         deflated_fail = 1.0
         for name, family in families:
-            sketch = family.sample(spawn(rng))
+            # Eager on purpose: the heavy-entry profile scans the
+            # explicit matrix.
+            sketch = family.sample(spawn(rng), lazy=False)
             norms2 = column_norms(sketch.matrix) ** 2
             avg_norm2 = float(np.mean(norms2))
             profile = heavy_budget_profile(sketch.matrix, epsilon)

@@ -83,11 +83,13 @@ class TwoStageExperiment(Experiment):
         m_single = single_search.m_star
         m_two = composed_search.m_star
         cost_single = (
-            single.with_m(m_single).sample(spawn(rng)).apply_cost(probe)
+            single.with_m(m_single).sample(spawn(rng), lazy=True)
+            .apply_cost(probe)
             if m_single else float("nan")
         )
         cost_two = (
-            composed.with_m(m_two).sample(spawn(rng)).apply_cost(probe)
+            composed.with_m(m_two).sample(spawn(rng), lazy=True)
+            .apply_cost(probe)
             if m_two else float("nan")
         )
         table.add_row([

@@ -1,0 +1,56 @@
+"""``repro.lint`` — project-specific determinism & sparse-pitfall linter.
+
+An AST-based static-analysis pass that turns this repository's runtime
+bug history (order-dependent RNG fan-out, ``np.matrix`` leakage from
+``.todense()``, sparse-comparison densification, per-trial sparse
+assembly) into machine-enforced rules, gated in CI alongside ruff and
+mypy.  See ``docs/static_analysis.md`` for the rule catalog and
+``python -m repro.lint --list-rules`` for a quick reference.
+
+Programmatic use::
+
+    from repro.lint import lint_source, lint_paths
+
+    violations = lint_source(code, "src/repro/sketch/foo.py")
+    violations, files = lint_paths(["src", "tests"])
+"""
+
+from .baseline import (
+    DEFAULT_BASELINE_NAME,
+    fingerprint_violations,
+    load_baseline,
+    partition_by_baseline,
+    write_baseline,
+)
+from .cli import main
+from .engine import (
+    DEFAULT_EXCLUDES,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from .rules import RULES, FileContext, Rule, Violation, all_codes, classify_path
+from .suppressions import Suppressions, parse_suppressions
+
+__all__ = [
+    "DEFAULT_BASELINE_NAME",
+    "DEFAULT_EXCLUDES",
+    "FileContext",
+    "RULES",
+    "Rule",
+    "Suppressions",
+    "Violation",
+    "all_codes",
+    "classify_path",
+    "fingerprint_violations",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "main",
+    "parse_suppressions",
+    "partition_by_baseline",
+    "write_baseline",
+]

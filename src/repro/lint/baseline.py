@@ -1,0 +1,105 @@
+"""Baseline file support — grandfathering pre-existing violations.
+
+The baseline is a committed JSON file mapping stable fingerprints to the
+violations they grandfather.  A fingerprint hashes the file path, rule
+code, the *text* of the offending line, and an occurrence counter — not
+the line number — so unrelated edits above a grandfathered line do not
+invalidate it, while editing the offending line itself (or adding a new
+identical violation) surfaces it again.
+
+Policy: the baseline exists so the gate could be landed atop an imperfect
+tree; new code must never add entries.  Each entry carries the violation
+message as a tracking note.  Regenerate with ``--write-baseline`` only
+when deliberately grandfathering, and prefer fixing or an inline
+``# repro-lint: disable=CODE`` with justification.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from .rules import Violation
+
+__all__ = [
+    "DEFAULT_BASELINE_NAME",
+    "fingerprint_violations",
+    "load_baseline",
+    "write_baseline",
+    "partition_by_baseline",
+]
+
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+def fingerprint_violations(violations: Iterable[Violation]
+                           ) -> List[Tuple[str, Violation]]:
+    """Pair each violation with its stable fingerprint.
+
+    The occurrence counter disambiguates identical lines (same path, code
+    and text), keeping fingerprints unique and order-stable.
+    """
+    seen: Dict[Tuple[str, str, str], int] = {}
+    fingerprinted = []
+    for violation in violations:
+        key = (violation.path, violation.code, violation.source_line.strip())
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        digest = hashlib.sha256(
+            "|".join([*key, str(occurrence)]).encode("utf-8")
+        ).hexdigest()[:16]
+        fingerprinted.append((digest, violation))
+    return fingerprinted
+
+
+def load_baseline(path: Path) -> Dict[str, dict]:
+    """Load baseline entries; a missing file is an empty baseline."""
+    if not path.exists():
+        return {}
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"unreadable baseline file {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ValueError(
+            f"baseline file {path} is not a repro-lint baseline "
+            f"(missing 'entries')"
+        )
+    entries = payload["entries"]
+    if not isinstance(entries, dict):
+        raise ValueError(f"baseline file {path}: 'entries' must be an object")
+    return entries
+
+
+def write_baseline(path: Path, violations: Iterable[Violation]) -> int:
+    """Write a baseline grandfathering exactly ``violations``."""
+    entries = {
+        digest: {
+            "path": violation.path,
+            "code": violation.code,
+            "line": violation.line,
+            "text": violation.source_line.strip(),
+            "note": violation.message,
+        }
+        for digest, violation in fingerprint_violations(violations)
+    }
+    payload = {"version": _FORMAT_VERSION, "entries": entries}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)
+
+
+def partition_by_baseline(violations: Iterable[Violation],
+                          entries: Dict[str, dict]
+                          ) -> Tuple[List[Violation], List[Violation]]:
+    """Split violations into ``(new, grandfathered)`` against a baseline."""
+    new: List[Violation] = []
+    old: List[Violation] = []
+    for digest, violation in fingerprint_violations(violations):
+        (old if digest in entries else new).append(violation)
+    return new, old

@@ -1,0 +1,91 @@
+"""``# repro-lint: disable=...`` suppression-comment parsing.
+
+Three forms are recognized, all case-sensitive on the rule codes:
+
+* ``# repro-lint: disable=RPL003`` — suppress the listed codes (comma
+  separated) on the line carrying the comment;
+* ``# repro-lint: disable-next-line=RPL003`` — same, for the following
+  line (useful when the flagged expression spans a black-formatted call);
+* ``# repro-lint: disable-file=RPL003`` — suppress the listed codes for
+  the whole file.
+
+``disable`` / ``disable-next-line`` / ``disable-file`` without ``=CODES``
+suppress *every* rule at that granularity; prefer naming codes so future
+rules still fire.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, List, NamedTuple, Set
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*"
+    r"(?P<kind>disable-file|disable-next-line|disable)"
+    r"(?:\s*=\s*(?P<codes>[A-Za-z0-9_,\s]+))?"
+)
+
+#: Sentinel meaning "all rule codes".
+ALL = frozenset({"*"})
+
+
+class Suppressions(NamedTuple):
+    """Parsed suppression directives for one file."""
+
+    by_line: Dict[int, FrozenSet[str]]
+    file_wide: FrozenSet[str]
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        if "*" in self.file_wide or code in self.file_wide:
+            return True
+        codes = self.by_line.get(line)
+        if codes is None:
+            return False
+        return "*" in codes or code in codes
+
+
+def _parse_codes(raw: object) -> FrozenSet[str]:
+    if raw is None:
+        return ALL
+    codes = {part.strip().upper() for part in str(raw).split(",") if part.strip()}
+    return frozenset(codes) if codes else ALL
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract suppression directives from ``source``'s comments.
+
+    Uses the tokenizer (not line regexes alone) so directives inside
+    string literals are not mistaken for comments.  Files the tokenizer
+    rejects fall back to no suppressions — the engine reports them as
+    syntax errors anyway.
+    """
+    by_line: Dict[int, Set[str]] = {}
+    file_wide: Set[str] = set()
+    try:
+        tokens: List[tokenize.TokenInfo] = list(
+            tokenize.generate_tokens(io.StringIO(source).readline)
+        )
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return Suppressions(by_line={}, file_wide=frozenset())
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(token.string)
+        if match is None:
+            continue
+        codes = _parse_codes(match.group("codes"))
+        kind = match.group("kind")
+        if kind == "disable-file":
+            file_wide.update(codes)
+        elif kind == "disable-next-line":
+            by_line.setdefault(token.start[0] + 1, set()).update(codes)
+        else:
+            by_line.setdefault(token.start[0], set()).update(codes)
+    return Suppressions(
+        by_line={line: frozenset(codes) for line, codes in by_line.items()},
+        file_wide=frozenset(file_wide),
+    )

@@ -1,0 +1,434 @@
+"""AST visitor implementing the ``RPL`` determinism / sparse-pitfall rules.
+
+One :class:`LintVisitor` walks a parsed module and emits
+:class:`~repro.lint.rules.Violation` records.  Path-sensitive rules are
+gated on the :class:`~repro.lint.rules.FileContext` computed from the
+file's (possibly virtual) path, so fixtures can exercise any scope by
+being linted under a synthetic path.
+
+The visitor is purely syntactic with two small semantic aids, both scoped
+to the enclosing function (or module) body:
+
+* *draw taint* (RPL002) — names assigned from expressions that draw values
+  off a generator (``x = parent.integers(...)``) are remembered, so
+  ``default_rng(x)`` is caught even when the draw is not nested directly
+  in the seeding call;
+* *sparse taint* (RPL004) — names assigned from sparse constructors or
+  ``.tocsr()``-style conversions are remembered, so ``a != b`` on such
+  names is caught without type inference.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from .rules import FileContext, Violation
+
+__all__ = ["LintVisitor", "collect_violations"]
+
+#: ``np.random.<name>`` / ``numpy.random.<name>`` calls that mutate or read
+#: the hidden global state, or draw from it.
+_NP_GLOBAL_FUNCS = frozenset({
+    "seed", "get_state", "set_state",
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "normal", "standard_normal", "uniform", "choice",
+    "permutation", "shuffle", "binomial", "poisson", "exponential",
+    "beta", "gamma", "laplace", "chisquare", "bytes",
+})
+
+#: stdlib ``random.<name>`` module-level calls (global Mersenne state).
+_STDLIB_GLOBAL_FUNCS = frozenset({
+    "seed", "random", "randint", "randrange", "uniform", "choice",
+    "choices", "shuffle", "sample", "gauss", "normalvariate", "betavariate",
+    "expovariate", "getrandbits",
+})
+
+#: Callables that consume seed material and build an RNG / seed sequence.
+_SEED_CONSUMERS = frozenset({
+    "default_rng", "SeedSequence", "Generator",
+    "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64",
+})
+
+#: Generator methods that draw from (and advance) a stream.
+_DRAW_METHODS = frozenset({
+    "integers", "random", "choice", "bytes", "normal", "standard_normal",
+    "uniform", "randint", "permutation", "permuted", "binomial",
+})
+
+#: scipy.sparse constructors / converters that yield sparse matrices.
+_SPARSE_CONSTRUCTORS = frozenset({
+    "csr_matrix", "csc_matrix", "coo_matrix", "lil_matrix", "dok_matrix",
+    "bsr_matrix", "dia_matrix", "csr_array", "csc_array", "coo_array",
+    "lil_array", "dok_array", "bsr_array", "dia_array",
+})
+
+_SPARSE_CONVERTERS = frozenset({
+    "tocsr", "tocsc", "tocoo", "tolil", "todok", "tobsr", "todia",
+})
+
+#: Extra ``scipy.sparse`` helpers that also build matrices in loops.
+_SPARSE_FACTORY_FUNCS = frozenset({
+    "eye", "identity", "diags", "spdiags", "rand", "random",
+    "random_array", "kron", "block_diag", "hstack", "vstack", "bmat",
+})
+
+_NUMPY_ROOTS = frozenset({"np", "numpy"})
+_SPARSE_ROOTS = frozenset({"sp", "sparse", "scipy"})
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _literal(node: ast.AST) -> Optional[ast.Constant]:
+    """The float/int Constant under an optional unary ``+``/``-``."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.UAdd, ast.USub)):
+        node = node.operand
+    return node if isinstance(node, ast.Constant) else None
+
+
+def _contains_draw_call(node: ast.AST) -> bool:
+    """Whether any sub-expression draws from a generator stream."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+            if sub.func.attr in _DRAW_METHODS:
+                # ``np.random.integers`` does not exist; any dotted chain
+                # ending in a draw method is generator-shaped enough.
+                return True
+    return False
+
+
+def _is_super_receiver(func: ast.AST) -> bool:
+    """Whether ``func`` is ``super().sample``-shaped."""
+    return (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Call)
+        and isinstance(func.value.func, ast.Name)
+        and func.value.func.id == "super"
+    )
+
+
+class _Scope:
+    """Per-function (or module) name-taint bookkeeping."""
+
+    def __init__(self) -> None:
+        self.draw_tainted: Set[str] = set()
+        self.sparse_tainted: Set[str] = set()
+
+
+class LintVisitor(ast.NodeVisitor):
+    """Single-pass visitor emitting violations for every enabled rule."""
+
+    def __init__(self, context: FileContext,
+                 source_lines: Optional[List[str]] = None) -> None:
+        self.context = context
+        self.violations: List[Violation] = []
+        self._lines = source_lines or []
+        self._scopes: List[_Scope] = [_Scope()]
+        self._loop_depth = 0
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _report(self, node: ast.AST, code: str, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        text = ""
+        if 1 <= line <= len(self._lines):
+            text = self._lines[line - 1].rstrip("\n")
+        self.violations.append(Violation(
+            path=self.context.path, line=line, col=col,
+            code=code, message=message, source_line=text,
+        ))
+
+    @property
+    def _scope(self) -> _Scope:
+        return self._scopes[-1]
+
+    def _visit_function(self, node: ast.AST) -> None:
+        self._scopes.append(_Scope())
+        outer_depth, self._loop_depth = self._loop_depth, 0
+        self.generic_visit(node)
+        self._loop_depth = outer_depth
+        self._scopes.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+    visit_Lambda = _visit_function
+
+    def _visit_loop(self, node: ast.AST) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    visit_For = _visit_loop
+    visit_AsyncFor = _visit_loop
+    visit_While = _visit_loop
+
+    # -- taint tracking ---------------------------------------------------
+
+    def _is_sparse_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in _SPARSE_CONVERTERS:
+                return True
+            dotted = _dotted(node.func)
+            if dotted is not None and \
+                    dotted.split(".")[-1] in _SPARSE_CONSTRUCTORS:
+                return True
+        if isinstance(node, ast.Name):
+            return node.id in self._scope.sparse_tainted
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if targets:
+            if _contains_draw_call(node.value):
+                self._scope.draw_tainted.update(targets)
+            else:
+                self._scope.draw_tainted.difference_update(targets)
+            if self._is_sparse_expr(node.value):
+                self._scope.sparse_tainted.update(targets)
+            else:
+                self._scope.sparse_tainted.difference_update(targets)
+        self.generic_visit(node)
+
+    # -- rules ------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_global_rng(node)
+        self._check_child_seed(node)
+        self._check_todense(node)
+        self._check_sparse_in_loop(node)
+        self._check_eager_sample(node)
+        self._check_test_randomness(node)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        self._check_sparse_compare(node)
+        self._check_float_equality(node)
+        self.generic_visit(node)
+
+    def _check_global_rng(self, node: ast.Call) -> None:
+        """RPL001 — global RNG state in library code."""
+        if self.context.is_test:
+            return
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        if (
+            len(parts) == 3
+            and parts[0] in _NUMPY_ROOTS
+            and parts[1] == "random"
+            and parts[2] in _NP_GLOBAL_FUNCS
+        ):
+            self._report(
+                node, "RPL001",
+                f"call to the global NumPy RNG `{dotted}`; route randomness "
+                f"through repro.utils.rng (as_generator/spawn)",
+            )
+            return
+        if (
+            len(parts) == 2
+            and parts[0] == "random"
+            and parts[1] in _STDLIB_GLOBAL_FUNCS
+        ):
+            self._report(
+                node, "RPL001",
+                f"call to the stdlib global RNG `{dotted}`; use a seeded "
+                f"numpy Generator instead",
+            )
+            return
+        if parts[-1] == "default_rng" and not node.args and not node.keywords:
+            self._report(
+                node, "RPL001",
+                "bare default_rng() draws OS entropy in library code; "
+                "accept an RngLike and use repro.utils.rng.as_generator",
+            )
+
+    def _check_child_seed(self, node: ast.Call) -> None:
+        """RPL002 — the PR 1 bug: seed material drawn off a parent stream."""
+        dotted = _dotted(node.func)
+        if dotted is None or dotted.split(".")[-1] not in _SEED_CONSUMERS:
+            return
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            tainted_name = (
+                isinstance(arg, ast.Name)
+                and arg.id in self._scope.draw_tainted
+            )
+            if tainted_name or _contains_draw_call(arg):
+                self._report(
+                    node, "RPL002",
+                    f"`{dotted.split('.')[-1]}` seeded from values drawn "
+                    f"off another generator's stream; child seeds then "
+                    f"depend on draw order — use SeedSequence.spawn "
+                    f"(repro.utils.rng.spawn/spawn_seeds)",
+                )
+                return
+
+    def _check_todense(self, node: ast.Call) -> None:
+        """RPL003 — ``.todense()`` returns np.matrix."""
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "todense":
+            self._report(
+                node, "RPL003",
+                ".todense() returns np.matrix with surprising operator "
+                "semantics; use .toarray()",
+            )
+
+    def _check_sparse_in_loop(self, node: ast.Call) -> None:
+        """RPL005 — sparse assembly / densification inside hot loops."""
+        if not self.context.is_hot or self._loop_depth == 0:
+            return
+        if isinstance(node.func, ast.Attribute) and \
+                node.func.attr in ("toarray", "todense"):
+            self._report(
+                node, "RPL005",
+                f".{node.func.attr}() inside a loop in a hot module; "
+                f"densify once outside the loop or use a matrix-free "
+                f"kernel (repro.sketch.kernels)",
+            )
+            return
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        name = parts[-1]
+        if name in _SPARSE_CONSTRUCTORS or (
+            len(parts) >= 2
+            and parts[0] in _SPARSE_ROOTS
+            and name in _SPARSE_FACTORY_FUNCS
+        ):
+            self._report(
+                node, "RPL005",
+                f"sparse construction `{dotted}` inside a loop in a hot "
+                f"module; hoist it or apply matrix-free",
+            )
+
+    def _check_eager_sample(self, node: ast.Call) -> None:
+        """RPL007 — sample() must pick lazy= explicitly in trial engines."""
+        if not self.context.is_trial_engine:
+            return
+        is_sample_method = (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "sample"
+            and not _is_super_receiver(node.func)
+        )
+        is_sample_helper = (
+            isinstance(node.func, ast.Name) and node.func.id == "sample_sketch"
+        )
+        if not (is_sample_method or is_sample_helper):
+            return
+        if any(kw.arg == "lazy" for kw in node.keywords):
+            return
+        self._report(
+            node, "RPL007",
+            "sample(...) without lazy= at a trial-engine call site; pass "
+            "lazy=True to skip matrix assembly, or lazy=False to document "
+            "that the explicit matrix is needed",
+        )
+
+    def _check_test_randomness(self, node: ast.Call) -> None:
+        """RPL008 — unseeded randomness in tests/benchmarks."""
+        if not self.context.is_test:
+            return
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        name = parts[-1]
+        bare = not node.args and not node.keywords
+        if name in ("default_rng", "SeedSequence") and bare:
+            self._report(
+                node, "RPL008",
+                f"unseeded {name}() in a test; pass an explicit seed or a "
+                f"spawned child (repro.utils.rng.spawn)",
+            )
+            return
+        if name in _SEED_CONSUMERS - {"default_rng", "SeedSequence", "Generator"} \
+                and bare:
+            self._report(
+                node, "RPL008",
+                f"unseeded bit generator {name}() in a test; seed it "
+                f"explicitly",
+            )
+            return
+        if len(parts) == 2 and parts[0] == "random" \
+                and name in _STDLIB_GLOBAL_FUNCS:
+            self._report(
+                node, "RPL008",
+                f"stdlib global RNG `{dotted}` in a test; use a seeded "
+                f"numpy Generator",
+            )
+            return
+        if name == "randoms":
+            for kw in node.keywords:
+                if kw.arg == "use_true_random" and \
+                        isinstance(kw.value, ast.Constant) and \
+                        kw.value.value is True:
+                    self._report(
+                        node, "RPL008",
+                        "hypothesis randoms(use_true_random=True) bypasses "
+                        "example replay; drop it so failures reproduce",
+                    )
+                    return
+
+    def _check_sparse_compare(self, node: ast.Compare) -> None:
+        """RPL004 — == / != with a sparse operand."""
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return
+        operands = [node.left] + list(node.comparators)
+        if any(self._is_sparse_expr(operand) for operand in operands):
+            self._report(
+                node, "RPL004",
+                "== / != on a sparse matrix densifies or yields a sparse "
+                "boolean (SparseEfficiencyWarning); compare canonical CSC "
+                "structure (indptr/indices/data) instead",
+            )
+
+    def _check_float_equality(self, node: ast.Compare) -> None:
+        """RPL006 — exact equality against a non-integral float literal."""
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return
+        for operand in [node.left] + list(node.comparators):
+            constant = _literal(operand)
+            if constant is None or not isinstance(constant.value, float):
+                continue
+            if not float(constant.value).is_integer():
+                self._report(
+                    node, "RPL006",
+                    f"exact comparison against float literal "
+                    f"{constant.value!r}; use np.isclose/math.isclose with "
+                    f"an explicit tolerance",
+                )
+                return
+
+
+def collect_violations(tree: ast.AST, context: FileContext,
+                       source_lines: Optional[List[str]] = None
+                       ) -> List[Violation]:
+    """Run :class:`LintVisitor` over ``tree`` and return its findings."""
+    visitor = LintVisitor(context, source_lines=source_lines)
+    visitor.visit(tree)
+    return visitor.violations
+
+
+# Names referenced by the engine for rule-count sanity checks.
+_CHECK_METHODS: Dict[str, str] = {
+    "RPL001": "_check_global_rng",
+    "RPL002": "_check_child_seed",
+    "RPL003": "_check_todense",
+    "RPL004": "_check_sparse_compare",
+    "RPL005": "_check_sparse_in_loop",
+    "RPL006": "_check_float_equality",
+    "RPL007": "_check_eager_sample",
+    "RPL008": "_check_test_randomness",
+}

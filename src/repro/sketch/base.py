@@ -19,7 +19,7 @@ side) actually asks for :attr:`Sketch.matrix`.
 from __future__ import annotations
 
 import abc
-from typing import Optional, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -47,7 +47,7 @@ class Sketch:
 
     def __init__(self, matrix: Optional[MatrixLike] = None,
                  family: Optional["SketchFamily"] = None,
-                 kernel: Optional[ApplyKernel] = None):
+                 kernel: Optional[ApplyKernel] = None) -> None:
         if matrix is None and kernel is None:
             raise ValueError(
                 "a sketch needs an explicit matrix or an apply kernel"
@@ -62,7 +62,9 @@ class Sketch:
     def matrix(self) -> MatrixLike:
         """The underlying matrix, assembled from the kernel on first use."""
         if self._materialized is None:
-            self._materialized = self._kernel.materialize()
+            kernel = self._kernel
+            assert kernel is not None  # __init__ requires matrix or kernel
+            self._materialized = kernel.materialize()
         return self._materialized
 
     @property
@@ -81,7 +83,7 @@ class Sketch:
         return self._family
 
     @property
-    def shape(self) -> tuple:
+    def shape(self) -> Tuple[int, ...]:
         materialized = getattr(self, "_materialized", None)
         if materialized is not None:
             return materialized.shape
@@ -146,7 +148,7 @@ class Sketch:
             result = result.toarray()
         return np.asarray(result, dtype=float)
 
-    def basis_image(self, draw) -> np.ndarray:
+    def basis_image(self, draw: Any) -> np.ndarray:
         """Compute ``ΠU`` for a hard-instance draw.
 
         Kernel-backed sketches answer matrix-free: structured draws via the
@@ -194,7 +196,7 @@ class SketchFamily(abc.ABC):
     extra parameters.
     """
 
-    def __init__(self, m: int, n: int):
+    def __init__(self, m: int, n: int) -> None:
         self._m = check_positive_int(m, "m")
         self._n = check_positive_int(n, "n")
 
@@ -234,7 +236,7 @@ class SketchFamily(abc.ABC):
         params["m"] = m
         return type(self)(**params)
 
-    def _resize_params(self) -> dict:
+    def _resize_params(self) -> Dict[str, Any]:
         """Constructor kwargs for :meth:`with_m`; subclasses extend."""
         return {"m": self._m, "n": self._n}
 

@@ -28,9 +28,13 @@ memory layouts and hard-instance draws.
 from __future__ import annotations
 
 import abc
+from typing import Any, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
+
+#: A ``(m, n)`` sketch dimension pair (anything int-pair-shaped accepted).
+ShapeLike = Tuple[int, int]
 
 __all__ = [
     "ApplyKernel",
@@ -57,7 +61,7 @@ SCATTER_MAX_COLUMNS = 4
 SCATTER_MAX_REPS = 8
 
 
-def _as_float64(a) -> np.ndarray:
+def _as_float64(a: Any) -> np.ndarray:
     """``a`` as float64, matching the upcast scipy applies before matvecs."""
     return np.asarray(a, dtype=np.float64)
 
@@ -65,15 +69,15 @@ def _as_float64(a) -> np.ndarray:
 class ApplyKernel(abc.ABC):
     """Matrix-free representation of a sampled sparse sketch ``Π``."""
 
-    def __init__(self, shape):
+    def __init__(self, shape: ShapeLike) -> None:
         m, n = shape
         if m <= 0 or n <= 0:
             raise ValueError(f"kernel shape must be positive, got {shape}")
-        self._shape = (int(m), int(n))
-        self._csc = None
+        self._shape: Tuple[int, int] = (int(m), int(n))
+        self._csc: Optional[sp.csc_matrix] = None
 
     @property
-    def shape(self) -> tuple:
+    def shape(self) -> Tuple[int, int]:
         return self._shape
 
     @property
@@ -99,7 +103,7 @@ class ApplyKernel(abc.ABC):
         """Stored entries per column — the cost model's per-column ``s``."""
 
     @abc.abstractmethod
-    def column_gather(self, idx) -> np.ndarray:
+    def column_gather(self, idx: Any) -> np.ndarray:
         """Dense ``Π[:, idx]``, exactly as ``csc[:, idx].toarray()``."""
 
     def materialize(self) -> sp.csc_matrix:
@@ -117,7 +121,7 @@ class ApplyKernel(abc.ABC):
         per_column = self.per_column_nnz()
         return int(per_column.max()) if per_column.size else 0
 
-    def sketched_basis(self, draw) -> np.ndarray:
+    def sketched_basis(self, draw: Any) -> np.ndarray:
         """``ΠU`` for a structured hard-instance draw.
 
         Default: gather the ``reps·d`` selected columns of ``Π`` and
@@ -144,7 +148,8 @@ class ColumnScatterKernel(ApplyKernel):
         The sketch dimensions ``(m, n)``.
     """
 
-    def __init__(self, rows: np.ndarray, values: np.ndarray, shape):
+    def __init__(self, rows: np.ndarray, values: np.ndarray,
+                 shape: ShapeLike) -> None:
         super().__init__(shape)
         rows = np.asarray(rows)
         values = np.asarray(values, dtype=np.float64)
@@ -204,7 +209,7 @@ class ColumnScatterKernel(ApplyKernel):
     def per_column_nnz(self) -> np.ndarray:
         return np.full(self.n, self._s, dtype=np.int64)
 
-    def column_gather(self, idx) -> np.ndarray:
+    def column_gather(self, idx: Any) -> np.ndarray:
         idx = np.asarray(idx, dtype=np.int64)
         # Fortran order matches ``csc[:, idx].toarray()`` — downstream
         # reductions are layout-sensitive at the ULP level, so bit-identity
@@ -214,7 +219,7 @@ class ColumnScatterKernel(ApplyKernel):
         sub[self._rows[:, idx], np.arange(idx.size)] = self._values[:, idx]
         return sub
 
-    def sketched_basis(self, draw) -> np.ndarray:
+    def sketched_basis(self, draw: Any) -> np.ndarray:
         if draw.reps > SCATTER_MAX_REPS:
             return super().sketched_basis(draw)
         # Direct scatter into the (m, d) output: entry t of selected
@@ -253,7 +258,8 @@ class RowGatherKernel(ApplyKernel):
         The sketch dimensions ``(m, n)``.
     """
 
-    def __init__(self, cols: np.ndarray, values: np.ndarray, shape):
+    def __init__(self, cols: np.ndarray, values: np.ndarray,
+                 shape: ShapeLike) -> None:
         super().__init__(shape)
         cols = np.asarray(cols)
         values = np.asarray(values, dtype=np.float64)
@@ -286,7 +292,7 @@ class RowGatherKernel(ApplyKernel):
     def per_column_nnz(self) -> np.ndarray:
         return np.bincount(self._cols, minlength=self.n)
 
-    def column_gather(self, idx) -> np.ndarray:
+    def column_gather(self, idx: Any) -> np.ndarray:
         idx = np.asarray(idx, dtype=np.int64)
         # F-order to match ``csc[:, idx].toarray()`` (see ColumnScatterKernel).
         return np.asfortranarray(np.where(
@@ -303,7 +309,7 @@ class CooScatterKernel(ApplyKernel):
     """
 
     def __init__(self, rows: np.ndarray, cols: np.ndarray,
-                 values: np.ndarray, shape):
+                 values: np.ndarray, shape: ShapeLike) -> None:
         super().__init__(shape)
         rows = np.asarray(rows)
         cols = np.asarray(cols)
@@ -326,7 +332,8 @@ class CooScatterKernel(ApplyKernel):
         self._values = values
 
     @classmethod
-    def from_triplets(cls, rows, cols, values, shape) -> "CooScatterKernel":
+    def from_triplets(cls, rows: Any, cols: Any, values: Any,
+                      shape: ShapeLike) -> "CooScatterKernel":
         """Canonicalize duplicate-free triplets and build the kernel."""
         rows = np.asarray(rows)
         cols = np.asarray(cols)
@@ -367,7 +374,7 @@ class CooScatterKernel(ApplyKernel):
     def per_column_nnz(self) -> np.ndarray:
         return np.bincount(self._cols, minlength=self.n)
 
-    def column_gather(self, idx) -> np.ndarray:
+    def column_gather(self, idx: Any) -> np.ndarray:
         idx = np.asarray(idx, dtype=np.int64)
         # F-order to match ``csc[:, idx].toarray()`` (see ColumnScatterKernel).
         sub = np.zeros((self.m, idx.size), order="F")

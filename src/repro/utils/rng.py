@@ -92,6 +92,10 @@ def spawn_seeds(rng: RngLike, count: int) -> List[np.random.SeedSequence]:
         # seed material from its stream (not order-robust, but functional).
         parent = as_generator(rng)
         entropy = [int(x) for x in parent.integers(0, 2**63 - 1, size=4)]
+        # Deliberate draw-derived seeding: this generator carries no
+        # SeedSequence, so spawn-based derivation is impossible by
+        # construction.
+        # repro-lint: disable-next-line=RPL002
         seq = np.random.SeedSequence(entropy)
     return seq.spawn(count)
 
@@ -107,7 +111,7 @@ def spawn(rng: RngLike = None) -> np.random.Generator:
     return np.random.default_rng(spawn_seeds(rng, 1)[0])
 
 
-def spawn_many(rng: RngLike, count: int) -> list:
+def spawn_many(rng: RngLike, count: int) -> List[np.random.Generator]:
     """Return ``count`` mutually independent child generators of ``rng``."""
     return [np.random.default_rng(seq) for seq in spawn_seeds(rng, count)]
 

@@ -1,0 +1,13 @@
+# Fixture: triggers RPL001 (global RNG use in library code).
+# Linted under a virtual src/repro/... path by tests/test_lint.py.
+import random
+
+import numpy as np
+
+
+def noisy_library_function(n):
+    np.random.seed(1234)
+    values = np.random.normal(size=n)
+    jitter = random.random()
+    fresh = np.random.default_rng()
+    return values, jitter, fresh

@@ -1,0 +1,10 @@
+# Fixture: clean counterpart to rpl001_bad.py — no RPL001 violations.
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+
+def quiet_library_function(n, rng=None):
+    gen = as_generator(rng)
+    seeded = np.random.default_rng(1234)
+    return gen.normal(size=n), seeded.normal(size=n)

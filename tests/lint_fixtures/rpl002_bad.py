@@ -1,0 +1,16 @@
+# Fixture: triggers RPL002 — the PR 1 bug: child seeds drawn off the
+# parent's stream make trial results depend on execution order.
+import numpy as np
+
+
+def spawn_workers_wrong(parent, count):
+    children = [
+        np.random.default_rng(parent.integers(0, 2**63 - 1))
+        for _ in range(count)
+    ]
+    return children
+
+
+def spawn_via_variable(parent):
+    seed_material = [int(x) for x in parent.integers(0, 2**32 - 1, size=4)]
+    return np.random.SeedSequence(seed_material)

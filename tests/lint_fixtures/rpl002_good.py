@@ -1,0 +1,13 @@
+# Fixture: clean counterpart to rpl002_bad.py — order-robust spawning.
+import numpy as np
+
+from repro.utils.rng import spawn_many, spawn_seeds
+
+
+def spawn_workers_right(parent, count):
+    return spawn_many(parent, count)
+
+
+def spawn_seeds_right(parent, count):
+    seqs = spawn_seeds(parent, count)
+    return [np.random.default_rng(seq) for seq in seqs]

@@ -1,0 +1,8 @@
+# Fixture: triggers RPL003 — .todense() returns np.matrix.
+import numpy as np
+import scipy.sparse as sp
+
+
+def densify_wrong(n):
+    matrix = sp.eye(n, format="csr")
+    return np.asarray(matrix.todense())

@@ -1,0 +1,8 @@
+# Fixture: clean counterpart to rpl003_bad.py — .toarray() is fine.
+import numpy as np
+import scipy.sparse as sp
+
+
+def densify_right(n):
+    matrix = sp.eye(n, format="csr")
+    return np.asarray(matrix.toarray())

@@ -1,0 +1,11 @@
+# Fixture: triggers RPL004 — == / != on sparse operands densifies or
+# yields a sparse boolean (the StreamingSketcher.merge pitfall).
+import scipy.sparse as sp
+
+
+def compare_wrong(a, b):
+    left = sp.csr_matrix(a)
+    right = sp.csr_matrix(b)
+    if (left != right).nnz:
+        return False
+    return left.tocsc() == right.tocsc()

@@ -1,0 +1,17 @@
+# Fixture: clean counterpart to rpl004_bad.py — structural comparison on
+# canonical CSC arrays instead of sparse operator comparison.
+import numpy as np
+import scipy.sparse as sp
+
+
+def compare_right(a, b):
+    left = sp.csc_matrix(a)
+    right = sp.csc_matrix(b)
+    left.sum_duplicates()
+    right.sum_duplicates()
+    return (
+        left.shape == right.shape
+        and np.array_equal(left.indptr, right.indptr)
+        and np.array_equal(left.indices, right.indices)
+        and np.array_equal(left.data, right.data)
+    )

@@ -1,0 +1,12 @@
+# Fixture: triggers RPL005 — sparse assembly / densification inside a
+# loop.  Linted under a virtual hot-module path (src/repro/sketch/...).
+import numpy as np
+import scipy.sparse as sp
+
+
+def per_trial_assembly(draws, m, n):
+    totals = []
+    for rows, cols, values in draws:
+        pi = sp.coo_matrix((values, (rows, cols)), shape=(m, n))
+        totals.append(float(pi.toarray().sum()))
+    return np.asarray(totals)

@@ -1,0 +1,13 @@
+# Fixture: clean counterpart to rpl005_bad.py — assembly hoisted out of
+# the loop; the loop body works on pre-densified data.
+import numpy as np
+import scipy.sparse as sp
+
+
+def hoisted_assembly(rows, cols, values, m, n, reps):
+    pi = sp.coo_matrix((values, (rows, cols)), shape=(m, n))
+    dense = pi.toarray()
+    totals = []
+    for _ in range(reps):
+        totals.append(float(dense.sum()))
+    return np.asarray(totals)

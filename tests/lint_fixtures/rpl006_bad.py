@@ -1,0 +1,6 @@
+# Fixture: triggers RPL006 — exact equality against a non-integral
+# float literal.
+def check_threshold(epsilon, delta):
+    if epsilon == 0.1:
+        return True
+    return delta != 0.25

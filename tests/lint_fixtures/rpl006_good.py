@@ -1,0 +1,12 @@
+# Fixture: clean counterpart to rpl006_bad.py — tolerance-based
+# comparison, and exact comparison against integral floats (which are
+# representable) stays allowed.
+import math
+
+
+def check_threshold(epsilon, delta):
+    if math.isclose(epsilon, 0.1, rel_tol=1e-12):
+        return True
+    if delta == 0.0:
+        return False
+    return delta >= 0.25

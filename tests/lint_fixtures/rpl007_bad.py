@@ -1,0 +1,11 @@
+# Fixture: triggers RPL007 — eager sample() without an explicit lazy=
+# at a trial-engine call site.  Linted under a virtual path like
+# src/repro/core/fake_tester.py.
+from repro.sketch.base import sample_sketch
+from repro.utils.rng import spawn
+
+
+def run_trial(family, instance, rng):
+    sketch = family.sample(spawn(rng))
+    helper = sample_sketch(family, spawn(rng))
+    return sketch, helper

@@ -1,0 +1,15 @@
+# Fixture: clean counterpart to rpl007_bad.py — lazy= chosen explicitly
+# either way, and super().sample() forwarding stays exempt.
+from repro.sketch.base import SketchFamily, sample_sketch
+from repro.utils.rng import spawn
+
+
+def run_trial(family, instance, rng):
+    lazy_sketch = family.sample(spawn(rng), lazy=True)
+    eager_sketch = sample_sketch(family, spawn(rng), lazy=False)
+    return lazy_sketch, eager_sketch
+
+
+class ForwardingFamily(SketchFamily):
+    def sample(self, rng=None, lazy=False):
+        return super().sample(rng)

@@ -1,0 +1,14 @@
+# Fixture: triggers RPL008 — unseeded randomness in a test file.
+# Linted under a virtual tests/ path.
+import random
+
+import numpy as np
+from hypothesis import strategies as st
+
+
+def test_something_unreproducible():
+    gen = np.random.default_rng()
+    noise = random.random()
+    seq = np.random.SeedSequence()
+    strategy = st.randoms(use_true_random=True)
+    return gen, noise, seq, strategy

@@ -1,0 +1,14 @@
+# Fixture: clean counterpart to rpl008_bad.py — every stream is seeded
+# or derived.
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.utils.rng import spawn
+
+
+def test_something_reproducible():
+    gen = np.random.default_rng(2024)
+    child = spawn(gen)
+    seq = np.random.SeedSequence(7)
+    strategy = st.randoms(use_true_random=False)
+    return gen, child, seq, strategy

@@ -1,0 +1,24 @@
+# Fixture: exercises every suppression-directive form against RPL003.
+import numpy as np
+import scipy.sparse as sp
+
+
+def same_line(matrix):
+    return matrix.todense()  # repro-lint: disable=RPL003
+
+
+def next_line(matrix):
+    # repro-lint: disable-next-line=RPL003
+    return matrix.todense()
+
+
+def wrong_code(matrix):
+    return matrix.todense()  # repro-lint: disable=RPL001
+
+
+def unsuppressed(matrix):
+    return np.asarray(matrix.todense())
+
+
+def blanket(matrix):
+    return matrix.todense()  # repro-lint: disable

@@ -1,0 +1,13 @@
+# Fixture: file-wide suppression silences RPL003 everywhere in the file
+# but leaves other rules active.
+# repro-lint: disable-file=RPL003
+import scipy.sparse as sp
+
+
+def first(matrix):
+    return matrix.todense()
+
+
+def second(matrix):
+    dense = matrix.todense()
+    return sp.csr_matrix(dense) != sp.csr_matrix(dense)

@@ -1,6 +1,5 @@
 """Tests for repro.core.collisions."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Tests for repro.core.lemmas (Lemma 3, Fact 5, Lemma 14)."""
 
-import itertools
 
 import numpy as np
 import pytest
@@ -8,7 +7,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.lemmas import (
-    KAPPA,
     fact5_holds,
     fact5_probabilities,
     lemma3_bound,

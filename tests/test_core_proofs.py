@@ -1,6 +1,5 @@
 """Tests for repro.core.proofs (executable proof replays)."""
 
-import numpy as np
 import pytest
 
 from repro.core.proofs import ProofStep, replay_theorem8, replay_theorem9

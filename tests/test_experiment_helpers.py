@@ -28,7 +28,7 @@ class TestScaledCountSketch:
 
     def test_with_m_preserves_c(self):
         fam = ScaledCountSketch(m=8, n=16, c=1.2).with_m(32)
-        assert fam.c == 1.2
+        assert fam.c == pytest.approx(1.2)
         assert fam.m == 32
 
     def test_name(self):

@@ -18,7 +18,6 @@ To regenerate after an *intentional* change to the trial stream::
 """
 
 import json
-from pathlib import Path
 
 import numpy as np
 import pytest

@@ -6,7 +6,7 @@ import scipy.sparse as sp
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.hardinstances.dbeta import DBeta, HardDraw
+from repro.hardinstances.dbeta import DBeta
 from repro.hardinstances.identity import PermutedIdentity, SpikedSubspace
 from repro.hardinstances.mixtures import (
     MixtureInstance,

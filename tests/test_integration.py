@@ -6,9 +6,7 @@ Lemma-4 pipeline, the Remark 10 tightness example, and the Section 5 mass
 accounting — each as one scenario with all modules cooperating.
 """
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.core.bounds import theorem8_lower_bound

@@ -11,7 +11,6 @@ from repro.linalg.distortion import (
     distortion_of_product,
     distortion_report,
     is_subspace_embedding_for,
-    singular_interval,
     sketched_basis,
     vector_distortion,
     worst_vector,

@@ -13,7 +13,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.collisions import birthday_collision_probability
-from repro.core.heavy import average_heavy_count, heavy_counts_per_column
+from repro.core.heavy import average_heavy_count
 from repro.core.lemmas import fact5_probabilities
 from repro.core.witness import escape_probability, witness_vector
 from repro.hardinstances.dbeta import DBeta

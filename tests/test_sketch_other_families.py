@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
 
 from repro.linalg.distortion import distortion
 from repro.linalg.gram import column_norms
@@ -38,7 +37,7 @@ class TestGaussian:
 class TestSparseJL:
     def test_density_parameter(self):
         fam = SparseJL(m=64, n=128, q=0.25)
-        assert fam.q == 0.25
+        assert fam.q == pytest.approx(0.25)
         assert fam.expected_column_sparsity == pytest.approx(16.0)
 
     def test_sparse_path_density(self):

@@ -1,6 +1,5 @@
 """Tests for repro.utils.stats."""
 
-import math
 
 import numpy as np
 import pytest
@@ -58,7 +57,7 @@ class TestWilsonInterval:
 
 class TestBernoulliEstimate:
     def test_point(self):
-        assert BernoulliEstimate(3, 10).point == 0.3
+        assert BernoulliEstimate(3, 10).point == pytest.approx(0.3)
 
     def test_likely_at_most(self):
         est = BernoulliEstimate(0, 1000)

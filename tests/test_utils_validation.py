@@ -49,7 +49,7 @@ class TestCheckNonnegativeInt:
 
 class TestCheckProbability:
     def test_accepts_interior(self):
-        assert check_probability(0.5, "p") == 0.5
+        assert check_probability(0.5, "p") == pytest.approx(0.5)
 
     def test_rejects_zero_by_default(self):
         with pytest.raises(ValueError):
@@ -72,7 +72,7 @@ class TestCheckProbability:
 
 class TestCheckEpsilon:
     def test_accepts_small(self):
-        assert check_epsilon(0.05) == 0.05
+        assert check_epsilon(0.05) == pytest.approx(0.05)
 
     def test_respects_upper(self):
         with pytest.raises(ValueError):
