@@ -16,7 +16,9 @@ The package provides:
 * :mod:`repro.apps` — the downstream tasks motivating OSEs (regression,
   low-rank approximation, k-means, leverage scores);
 * :mod:`repro.experiments` — the experiment harness regenerating every
-  table in EXPERIMENTS.md.
+  table in EXPERIMENTS.md;
+* :mod:`repro.observe` — the run-ledger/tracing/counter observability
+  layer (``--ledger``, ``python -m repro.observe summarize``).
 
 Quickstart::
 
@@ -31,7 +33,7 @@ Quickstart::
     print(failure_estimate(fam, inst, eps, trials=100, rng=0))
 """
 
-from . import apps, core, hardinstances, linalg, sketch, utils
+from . import apps, core, hardinstances, linalg, observe, sketch, utils
 
 __version__ = "1.0.0"
 
@@ -40,6 +42,7 @@ __all__ = [
     "core",
     "hardinstances",
     "linalg",
+    "observe",
     "sketch",
     "utils",
     "__version__",

@@ -10,6 +10,7 @@ paper's lower-bound formulas.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from functools import partial
 from typing import List, Optional, Tuple
@@ -18,6 +19,8 @@ import numpy as np
 
 from ..hardinstances.dbeta import HardInstance
 from ..linalg.distortion import distortion_of_product
+from ..observe.ledger import emit_event
+from ..observe.trace import trace
 from ..sketch.base import Sketch, SketchFamily, sample_sketch
 from ..utils.parallel import TrialExecutor
 from ..utils.rng import RngLike, as_generator, spawn
@@ -81,9 +84,10 @@ def failure_estimate(family: SketchFamily, instance: HardInstance,
     fixed = None if fresh_sketch \
         else sample_sketch(family, spawn(gen), lazy=True)
     executor = TrialExecutor(workers=workers, chunk_size=chunk_size)
-    distortions = executor.run(
-        partial(_distortion_trial, family, instance, fixed), trials, gen
-    )
+    with trace("failure_estimate", m=family.m, trials=trials):
+        distortions = executor.run(
+            partial(_distortion_trial, family, instance, fixed), trials, gen
+        )
     failures = sum(1 for value in distortions if value > epsilon)
     return BernoulliEstimate(failures, trials)
 
@@ -100,9 +104,10 @@ def distortion_samples(family: SketchFamily, instance: HardInstance,
     """
     trials = check_positive_int(trials, "trials")
     executor = TrialExecutor(workers=workers, chunk_size=chunk_size)
-    values = executor.run(
-        partial(_distortion_trial, family, instance, None), trials, rng
-    )
+    with trace("distortion_samples", m=family.m, trials=trials):
+        values = executor.run(
+            partial(_distortion_trial, family, instance, None), trials, rng
+        )
     return np.asarray(values, dtype=float)
 
 
@@ -155,7 +160,11 @@ def minimal_m(family: SketchFamily, instance: HardInstance, epsilon: float,
 
     Exponential search upward from ``m_min`` (factor ``growth``) until a
     passing ``m`` is found, then bisection between the last failing and
-    first passing ``m``.  The bisection stops once the bracket width
+    first passing ``m``.  The exponential phase clamps its final probe to
+    ``m_max``, so ``m_max`` itself is always probed before the search
+    gives up — an instance that only passes at ``m_max`` returns
+    ``found=True`` rather than being skipped over by the geometric
+    schedule.  The bisection stops once the bracket width
     ``hi - lo`` drops to ``max(1, lo // 20)`` — i.e. it resolves ``m*`` to
     about 5% relative tolerance rather than exactly, since Monte-Carlo
     probe noise at practical ``trials`` swamps finer resolution anyway.
@@ -199,39 +208,60 @@ def minimal_m(family: SketchFamily, instance: HardInstance, epsilon: float,
             return est.low <= delta
         return est.point <= delta
 
-    def probe(m: int) -> bool:
+    def probe(m: int, phase: str) -> bool:
+        started = time.perf_counter()
         est = failure_estimate(
             family.with_m(m), instance, epsilon, trials, spawn(gen),
             workers=workers, chunk_size=chunk_size,
         )
         result.evaluations.append((m, est))
-        return passes(est)
+        ok = passes(est)
+        emit_event(
+            "probe", m=m, successes=est.successes, trials=est.trials,
+            decision=decision, passed=ok, phase=phase,
+            elapsed=time.perf_counter() - started,
+        )
+        return ok
 
-    # Exponential phase.
-    m = m_min
-    last_fail = None
-    first_pass = None
-    while m <= m_max:
-        if probe(m):
-            first_pass = m
-            break
-        last_fail = m
-        next_m = int(np.ceil(m * growth))
-        m = max(next_m, m + 1)
-    if first_pass is None:
-        return result
-    if last_fail is None:
-        # Passed already at m_min — it is the minimum within search range.
-        result.m_star = first_pass
-        return result
+    search_started = time.perf_counter()
+    emit_event(
+        "minimal_m_start", m_min=m_min, m_max=m_max, growth=growth,
+        decision=decision, epsilon=epsilon, delta=delta, trials=trials,
+    )
+    try:
+        # Exponential phase; the final probe is clamped to m_max so the
+        # geometric schedule can never skip past it unprobed.
+        m = m_min
+        last_fail = None
+        first_pass = None
+        while True:
+            if probe(m, "exponential"):
+                first_pass = m
+                break
+            last_fail = m
+            if m >= m_max:
+                break
+            m = min(max(int(np.ceil(m * growth)), m + 1), m_max)
+        if first_pass is None:
+            return result
+        if last_fail is None:
+            # Passed already at m_min — it is the minimum within search range.
+            result.m_star = first_pass
+            return result
 
-    # Bisection phase between last_fail (fails) and first_pass (passes).
-    lo, hi = last_fail, first_pass
-    while hi - lo > max(1, lo // 20):
-        mid = (lo + hi) // 2
-        if probe(mid):
-            hi = mid
-        else:
-            lo = mid
-    result.m_star = hi
-    return result
+        # Bisection phase between last_fail (fails) and first_pass (passes).
+        lo, hi = last_fail, first_pass
+        while hi - lo > max(1, lo // 20):
+            mid = (lo + hi) // 2
+            if probe(mid, "bisection"):
+                hi = mid
+            else:
+                lo = mid
+        result.m_star = hi
+        return result
+    finally:
+        emit_event(
+            "minimal_m_end", m_star=result.m_star, found=result.found,
+            probes=len(result.evaluations),
+            elapsed=time.perf_counter() - search_started,
+        )

@@ -5,15 +5,49 @@ Usage::
     python -m repro.experiments            # list experiments
     python -m repro.experiments E8         # run one at full scale
     python -m repro.experiments all --scale 0.25 --seed 7
+    python -m repro.experiments E1 --scale 0.05 --workers 2 \\
+        --ledger run.jsonl --progress
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
+from contextlib import ExitStack
 from pathlib import Path
+from typing import Optional
 
+from ..observe.ledger import RunLedger, emit_event
 from .registry import EXPERIMENTS, experiment_ids, run_experiment
+
+
+def _positive_scale(text: str) -> float:
+    """Argparse type for ``--scale``: a positive finite float."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"scale must be a number, got {text!r}")
+    if not math.isfinite(value) or value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"scale must be a positive finite number, got {text}"
+        )
+    return value
+
+
+def _worker_count(text: str) -> int:
+    """Argparse type for ``--workers``: a nonnegative int (0 = all CPUs)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workers must be an integer, got {text!r}"
+        )
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"workers must be nonnegative (0 = all CPUs), got {value}"
+        )
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -27,20 +61,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="experiment id (e.g. E8), 'all', or omit to list",
     )
     parser.add_argument(
-        "--scale", type=float, default=1.0,
+        "--scale", type=_positive_scale, default=1.0,
         help="workload scale; 1.0 = EXPERIMENTS.md fidelity (default)",
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="random seed (default 0)"
     )
     parser.add_argument(
-        "--workers", type=int, default=1, metavar="N",
+        "--workers", type=_worker_count, default=1, metavar="N",
         help="worker processes for Monte-Carlo trial loops; 0 = all CPUs "
              "(results are identical to --workers 1 at the same seed)",
     )
     parser.add_argument(
         "--json-dir", default=None, metavar="DIR",
         help="also write each result as DIR/<id>.json",
+    )
+    parser.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="append structured JSON-lines run events to PATH "
+             "(inspect with: python -m repro.observe summarize PATH)",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print live probe/experiment progress to stderr",
     )
     return parser
 
@@ -63,15 +106,26 @@ def main(argv=None) -> int:
             print(f"unknown experiment {eid!r}; known: "
                   f"{', '.join(experiment_ids())}", file=sys.stderr)
             return 2
-        result = run_experiment(
-            eid, scale=args.scale, rng=args.seed, workers=args.workers
-        )
-        print(result.render())
-        print()
-        if args.json_dir is not None:
-            directory = Path(args.json_dir)
-            directory.mkdir(parents=True, exist_ok=True)
-            result.save_json(directory / f"{eid}.json")
+    ledger: Optional[RunLedger] = None
+    if args.ledger is not None or args.progress:
+        ledger = RunLedger(args.ledger, progress=args.progress)
+    with ExitStack() as stack:
+        if ledger is not None:
+            stack.enter_context(ledger)
+            emit_event(
+                "cli_start", experiments=targets, scale=args.scale,
+                seed=args.seed, workers=args.workers,
+            )
+        for eid in targets:
+            result = run_experiment(
+                eid, scale=args.scale, rng=args.seed, workers=args.workers
+            )
+            print(result.render())
+            print()
+            if args.json_dir is not None:
+                directory = Path(args.json_dir)
+                directory.mkdir(parents=True, exist_ok=True)
+                result.save_json(directory / f"{eid}.json")
     return 0
 
 

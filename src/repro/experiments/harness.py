@@ -19,7 +19,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Union
 
+from ..observe.counters import counters
+from ..observe.ledger import emit_event
 from ..utils.rng import RngLike, as_generator
+from ..utils.serialization import json_default, to_builtin
 from ..utils.tables import TextTable
 
 __all__ = [
@@ -77,27 +80,36 @@ class ExperimentResult:
         return "\n".join(parts)
 
     def to_dict(self) -> dict:
-        """JSON-serializable form (tables as header + string rows)."""
+        """JSON-serializable form (tables as header + string rows).
+
+        Metrics and table rows are coerced through
+        :func:`repro.utils.serialization.to_builtin`: numpy scalars
+        (``np.int64`` counts, ``np.float32`` metrics) would otherwise make
+        ``json.dumps`` raise ``TypeError`` and crash ``--json-dir`` saves
+        after a completed run.
+        """
         return {
             "experiment_id": self.experiment_id,
             "title": self.title,
             "tables": [
                 {
                     "title": table.title,
-                    "columns": list(table.columns),
-                    "rows": [list(row) for row in table.rows],
+                    "columns": [to_builtin(c) for c in table.columns],
+                    "rows": [to_builtin(list(row)) for row in table.rows],
                 }
                 for table in self.tables
             ],
-            "metrics": dict(self.metrics),
-            "notes": list(self.notes),
-            "elapsed_seconds": self.elapsed_seconds,
+            "metrics": to_builtin(dict(self.metrics)),
+            "notes": [to_builtin(note) for note in self.notes],
+            "elapsed_seconds": to_builtin(self.elapsed_seconds),
         }
 
     def save_json(self, path: Union[str, Path]) -> Path:
         """Write the result as JSON; returns the path written."""
         path = Path(path)
-        path.write_text(json.dumps(self.to_dict(), indent=2))
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, default=json_default)
+        )
         return path
 
     @classmethod
@@ -157,13 +169,34 @@ class Experiment(abc.ABC):
         ``workers`` parallelizes the experiment's Monte-Carlo trial loops
         over a process pool (``None``/``0`` = all CPUs) without changing
         any result at a fixed seed.
+
+        Operation counts accrued during the run (sketch samples, kernel
+        applies, trials — see :mod:`repro.observe.counters`) are attached
+        to the result as ``count_*`` metrics; they are identical for
+        serial and parallel runs of the same seed.  With a run ledger
+        installed, ``experiment_start``/``counters``/``experiment_end``
+        events bracket the run.
         """
         if scale <= 0:
             raise ValueError(f"scale must be positive, got {scale}")
         self._workers = workers
+        emit_event(
+            "experiment_start", experiment=self.experiment_id,
+            title=self.title, scale=scale, workers=workers,
+        )
+        before = counters().snapshot()
         started = time.perf_counter()
         result = self._run(scale, as_generator(rng))
         result.elapsed_seconds = time.perf_counter() - started
+        delta = counters().diff(before)
+        for name in sorted(delta):
+            result.metrics.setdefault(f"count_{name}", delta[name])
+        emit_event("counters", experiment=self.experiment_id, **delta)
+        emit_event(
+            "experiment_end", experiment=self.experiment_id,
+            elapsed=result.elapsed_seconds,
+            metrics=to_builtin(dict(result.metrics)),
+        )
         return result
 
     @abc.abstractmethod

@@ -1,0 +1,51 @@
+"""Command-line entry point for ledger inspection.
+
+Usage::
+
+    python -m repro.observe summarize RUN.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .summarize import summarize_path
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observe",
+        description="Inspect run ledgers written with --ledger PATH.",
+    )
+    commands = parser.add_subparsers(dest="command")
+    summarize = commands.add_parser(
+        "summarize",
+        help="render per-probe tables and wall-clock breakdowns from a "
+             "JSON-lines ledger",
+    )
+    summarize.add_argument("ledger", metavar="LEDGER",
+                           help="path to a JSON-lines ledger file")
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_usage(sys.stderr)
+        return 2
+    try:
+        print(summarize_path(args.ledger))
+    except OSError as exc:
+        print(f"cannot read ledger: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""Process-global operation counters for the trial engine.
+
+A :class:`Counters` object is a plain name → integer aggregate.  The
+library keeps one per process (:func:`counters`) and the instrumented hot
+paths bump it through :func:`add_count` — a dictionary increment, cheap
+enough to stay on unconditionally.
+
+Worker processes count into their *own* global; the trial engine
+(:mod:`repro.utils.parallel`) snapshots the per-chunk delta inside each
+worker and merges it back into the parent, so totals are identical for
+serial and parallel runs of the same workload.  :meth:`Experiment.run
+<repro.experiments.harness.Experiment.run>` exposes the per-run delta as
+``count_*`` entries on ``ExperimentResult.metrics``.
+
+This module deliberately imports nothing from the rest of the library so
+the hot-path modules (``sketch/``, ``utils/parallel.py``) can depend on it
+without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional
+
+__all__ = ["Counters", "counters", "add_count"]
+
+
+class Counters:
+    """A named-integer aggregate with snapshot/delta/merge arithmetic."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Optional[Mapping[str, int]] = None) -> None:
+        self._counts: Dict[str, int] = dict(counts or {})
+
+    def increment(self, name: str, by: int = 1) -> None:
+        """Add ``by`` to counter ``name`` (creating it at zero)."""
+        self._counts[name] = self._counts.get(name, 0) + by
+
+    def get(self, name: str) -> int:
+        """Current value of ``name`` (zero when never incremented)."""
+        return self._counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """A frozen copy of the current counts, for later :meth:`diff`."""
+        return dict(self._counts)
+
+    def diff(self, baseline: Mapping[str, int]) -> Dict[str, int]:
+        """Counts accrued since ``baseline`` (only nonzero deltas)."""
+        return {
+            name: value - baseline.get(name, 0)
+            for name, value in self._counts.items()
+            if value != baseline.get(name, 0)
+        }
+
+    def merge(self, delta: Mapping[str, int]) -> None:
+        """Fold another aggregate's counts (e.g. a worker delta) in."""
+        for name, value in delta.items():
+            self.increment(name, value)
+
+    def clear(self) -> None:
+        """Reset every counter to zero."""
+        self._counts.clear()
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}={value}" for name, value in sorted(self._counts.items())
+        )
+        return f"Counters({inner})"
+
+
+#: The per-process aggregate; see the module docstring for the
+#: serial/parallel merge discipline.
+_GLOBAL = Counters()
+
+
+def counters() -> Counters:
+    """The process-global :class:`Counters` aggregate."""
+    return _GLOBAL
+
+
+def add_count(name: str, by: int = 1) -> None:
+    """Bump the process-global counter ``name`` — the hot-path entry point."""
+    _GLOBAL.increment(name, by)

@@ -1,0 +1,281 @@
+"""Structured run ledger: JSON-lines events for long experiment runs.
+
+A :class:`RunLedger` collects structured events — experiment start/end,
+``minimal_m`` probes, trial-batch dispatch/completion, counter aggregates,
+traced wall-clock spans — and appends them as JSON lines to a file, so a
+multi-hour (or crashed) run leaves a durable, machine-readable record.
+``python -m repro.observe summarize LEDGER`` renders it back into tables.
+
+Design constraints, in order:
+
+* **off the hot path** — with no ledger installed, every instrumentation
+  site is a single ``ContextVar.get`` returning ``None``; with one
+  installed, lines are buffered and flushed in batches;
+* **never perturbs determinism** — emission consumes no randomness, and
+  the *deterministic view* of a ledger (execution-scope events dropped,
+  timing fields stripped; see :func:`deterministic_view`) is identical for
+  serial and parallel runs of the same seed;
+* **fork-safe** — a ledger only accepts events from the process that
+  created it, so pool workers inheriting the context variable can never
+  write duplicate or torn lines.
+
+Usage::
+
+    with RunLedger("run.jsonl", progress=True):
+        run_experiment("E1", scale=0.05, rng=0, workers=2)
+
+Entering the ledger installs it as the current sink; instrumented library
+code emits through :func:`emit_event` without threading a handle around.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, IO, Iterator, List, Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "EXECUTION_KINDS",
+    "TIMING_FIELDS",
+    "RunLedger",
+    "current_ledger",
+    "deterministic_view",
+    "emit_event",
+    "read_events",
+    "use_ledger",
+]
+
+#: Event kinds that describe *how* work was executed (worker ids, chunk
+#: spans) rather than *what* was computed; excluded from the deterministic
+#: view because chunking legitimately differs across ``workers`` settings.
+EXECUTION_KINDS = frozenset({"batch_dispatch", "batch_done"})
+
+#: Per-event fields that carry wall-clock or process identity and are
+#: stripped from the deterministic view.
+TIMING_FIELDS = frozenset({"t", "elapsed", "worker", "workers", "pid"})
+
+
+def _json_default(value: Any) -> Any:
+    """JSON fallback for numpy scalars/arrays inside event payloads."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(
+        f"ledger event field of type {type(value).__name__} is not "
+        f"JSON-serializable"
+    )
+
+
+class RunLedger:
+    """Buffered JSON-lines event sink with optional live progress echo.
+
+    Parameters
+    ----------
+    path:
+        Destination file; events are *appended*, so successive runs can
+        share one ledger.  ``None`` keeps events in memory only.
+    progress:
+        Echo one human-readable line per semantic event to stderr.
+    buffer_lines:
+        Serialized lines held before a write+flush; keeps emission off the
+        hot path without risking more than a tail of events on a crash.
+    keep_events:
+        Retain events on :attr:`events` for in-process inspection.
+        Defaults to ``True`` exactly when ``path`` is ``None``.
+    """
+
+    def __init__(self, path: Union[str, Path, None] = None, *,
+                 progress: bool = False, buffer_lines: int = 256,
+                 keep_events: Optional[bool] = None) -> None:
+        if buffer_lines < 1:
+            raise ValueError(
+                f"buffer_lines must be positive, got {buffer_lines}"
+            )
+        self._path = Path(path) if path is not None else None
+        self._progress = progress
+        self._buffer: List[str] = []
+        self._buffer_lines = buffer_lines
+        self._keep = (path is None) if keep_events is None else keep_events
+        self._events: List[Dict[str, Any]] = []
+        self._pid = os.getpid()
+        self._handle: Optional[IO[str]] = None
+        self._closed = False
+        self._token: Optional[contextvars.Token] = None
+
+    @property
+    def path(self) -> Optional[Path]:
+        return self._path
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        """Events retained in memory (see ``keep_events``)."""
+        return list(self._events)
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Record one event; a no-op after close and in forked children."""
+        if self._closed or os.getpid() != self._pid:
+            return
+        event: Dict[str, Any] = {"t": time.time(), "kind": kind}
+        event.update(fields)
+        if self._keep:
+            self._events.append(event)
+        if self._path is not None:
+            self._buffer.append(json.dumps(event, default=_json_default))
+            if len(self._buffer) >= self._buffer_lines:
+                self.flush()
+        if self._progress:
+            line = _progress_line(event)
+            if line is not None:
+                print(line, file=sys.stderr)
+
+    def flush(self) -> None:
+        """Write buffered lines through to disk."""
+        if not self._buffer or self._path is None:
+            return
+        if self._handle is None:
+            self._handle = open(self._path, "a", encoding="utf-8")
+        self._handle.write("\n".join(self._buffer) + "\n")
+        self._handle.flush()
+        self._buffer.clear()
+
+    def close(self) -> None:
+        """Flush and stop accepting events (idempotent)."""
+        if self._closed:
+            return
+        self.flush()
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._closed = True
+
+    def __enter__(self) -> "RunLedger":
+        self._token = _CURRENT.set(self)
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+            self._token = None
+        self.close()
+
+    def __repr__(self) -> str:
+        target = str(self._path) if self._path is not None else "<memory>"
+        state = "closed" if self._closed else "open"
+        return f"RunLedger({target}, {state}, {len(self._events)} kept)"
+
+
+_CURRENT: "contextvars.ContextVar[Optional[RunLedger]]" = \
+    contextvars.ContextVar("repro_run_ledger", default=None)
+
+
+def current_ledger() -> Optional[RunLedger]:
+    """The installed ledger, or ``None`` (the default no-op sink)."""
+    return _CURRENT.get()
+
+
+def emit_event(kind: str, **fields: Any) -> None:
+    """Emit to the current ledger; a cheap no-op when none is installed."""
+    ledger = _CURRENT.get()
+    if ledger is not None:
+        ledger.emit(kind, **fields)
+
+
+@contextlib.contextmanager
+def use_ledger(ledger: Optional[RunLedger]) -> Iterator[Optional[RunLedger]]:
+    """Install ``ledger`` as the current sink without taking ownership.
+
+    Unlike entering the ledger itself, leaving this context does *not*
+    close it — useful for scoping one ledger over several runs.
+    """
+    token = _CURRENT.set(ledger)
+    try:
+        yield ledger
+    finally:
+        _CURRENT.reset(token)
+
+
+def deterministic_view(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The payload subsequence guaranteed identical across ``workers``.
+
+    Drops execution-scope events (:data:`EXECUTION_KINDS`) and strips
+    timing/identity fields (:data:`TIMING_FIELDS`) from the rest.  For a
+    fixed seed, serial and parallel runs of the same workload produce
+    equal deterministic views — the observability analogue of the trial
+    engine's bit-identical-results contract.
+    """
+    view = []
+    for event in events:
+        if event.get("kind") in EXECUTION_KINDS:
+            continue
+        view.append({
+            key: value for key, value in event.items()
+            if key not in TIMING_FIELDS
+        })
+    return view
+
+
+def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a JSON-lines ledger file back into event dictionaries.
+
+    A torn trailing line (crash mid-write) is tolerated and skipped; any
+    earlier unparseable line raises, since that indicates corruption
+    rather than an interrupted run.
+    """
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    events: List[Dict[str, Any]] = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if number == len(lines):
+                break
+            raise ValueError(
+                f"{path}: unparseable ledger line {number}: {line[:80]!r}"
+            ) from None
+    return events
+
+
+def _progress_line(event: Dict[str, Any]) -> Optional[str]:
+    """One-line stderr rendering of a semantic event (None = silent)."""
+    kind = event.get("kind")
+    if kind == "cli_start":
+        ids = ", ".join(event.get("experiments", []))
+        return (f"[observe] run start: {ids} "
+                f"(scale={event.get('scale')}, seed={event.get('seed')}, "
+                f"workers={event.get('workers')})")
+    if kind == "experiment_start":
+        return (f"[observe] {event.get('experiment')} start "
+                f"(scale={event.get('scale')})")
+    if kind == "minimal_m_start":
+        return (f"[observe]   minimal_m: m in "
+                f"[{event.get('m_min')}, {event.get('m_max')}] "
+                f"decision={event.get('decision')} "
+                f"trials/probe={event.get('trials')}")
+    if kind == "probe":
+        verdict = "pass" if event.get("passed") else "fail"
+        return (f"[observe]     probe m={event.get('m')}: "
+                f"{event.get('successes')}/{event.get('trials')} failures "
+                f"({verdict}, {event.get('phase')}) "
+                f"[{event.get('elapsed', 0.0):.2f}s]")
+    if kind == "minimal_m_end":
+        if event.get("found"):
+            outcome = f"m* = {event.get('m_star')}"
+        else:
+            outcome = "not found (m_max failed)"
+        return (f"[observe]   minimal_m done: {outcome} after "
+                f"{event.get('probes')} probes "
+                f"[{event.get('elapsed', 0.0):.2f}s]")
+    if kind == "experiment_end":
+        return (f"[observe] {event.get('experiment')} done "
+                f"[{event.get('elapsed', 0.0):.1f}s]")
+    return None

@@ -1,0 +1,200 @@
+"""Post-hoc rendering of a run ledger into plain-text tables.
+
+``python -m repro.observe summarize LEDGER`` (and :func:`summarize` on an
+event list) reconstructs, from the JSON-lines events alone:
+
+* a run overview — one row per experiment with status, probe/trial
+  totals, and wall-clock time;
+* one table per ``minimal_m`` search listing every probe
+  ``(m, failures, trials, rate, phase, verdict, seconds)``;
+* a wall-clock breakdown aggregated over ``trace`` spans and trial
+  batches;
+* counter aggregates per experiment.
+
+The renderer never requires end events: a crashed ``all --scale 1.0`` run
+summarizes up to its last flushed line, with incomplete experiments and
+searches marked as such.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..utils.tables import TextTable
+from .ledger import read_events
+
+__all__ = ["summarize", "summarize_path"]
+
+
+class _Search:
+    """Accumulator for one ``minimal_m_start`` … ``minimal_m_end`` span."""
+
+    def __init__(self, experiment: str, start: Dict[str, Any]) -> None:
+        self.experiment = experiment
+        self.start = start
+        self.probes: List[Dict[str, Any]] = []
+        self.end: Optional[Dict[str, Any]] = None
+
+
+class _Experiment:
+    """Accumulator for one ``experiment_start`` … ``experiment_end`` span."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.end: Optional[Dict[str, Any]] = None
+        self.probes = 0
+        self.trials = 0
+        self.searches = 0
+        self.counters: Dict[str, int] = {}
+
+
+def _fmt_seconds(value: Any) -> str:
+    return f"{float(value):.2f}" if value is not None else "?"
+
+
+def summarize(events: List[Dict[str, Any]]) -> str:
+    """Render an event list (see :func:`repro.observe.read_events`)."""
+    experiments: List[_Experiment] = []
+    searches: List[_Search] = []
+    spans: Dict[str, List[float]] = {}
+    batches = 0
+    current_exp: Optional[_Experiment] = None
+    current_search: Optional[_Search] = None
+    header: Optional[Dict[str, Any]] = None
+
+    for event in events:
+        kind = event.get("kind")
+        if kind == "cli_start":
+            header = event
+        elif kind == "experiment_start":
+            current_exp = _Experiment(str(event.get("experiment")))
+            experiments.append(current_exp)
+        elif kind == "experiment_end":
+            if current_exp is not None:
+                current_exp.end = event
+            current_exp = None
+        elif kind == "minimal_m_start":
+            name = current_exp.name if current_exp is not None else "?"
+            current_search = _Search(name, event)
+            searches.append(current_search)
+            if current_exp is not None:
+                current_exp.searches += 1
+        elif kind == "probe":
+            if current_search is None:
+                name = current_exp.name if current_exp is not None else "?"
+                current_search = _Search(name, {})
+                searches.append(current_search)
+            current_search.probes.append(event)
+            if current_exp is not None:
+                current_exp.probes += 1
+        elif kind == "minimal_m_end":
+            if current_search is not None:
+                current_search.end = event
+            current_search = None
+        elif kind == "trace":
+            spans.setdefault(str(event.get("name")), []).append(
+                float(event.get("elapsed", 0.0))
+            )
+            if current_exp is not None:
+                current_exp.trials += int(event.get("trials", 0) or 0)
+        elif kind == "counters":
+            if current_exp is not None:
+                for key, value in event.items():
+                    if key in ("t", "kind", "experiment"):
+                        continue
+                    current_exp.counters[key] = \
+                        current_exp.counters.get(key, 0) + int(value)
+        elif kind == "batch_done":
+            batches += 1
+
+    parts: List[str] = []
+    if header is not None:
+        ids = ", ".join(str(x) for x in header.get("experiments", []))
+        parts.append(
+            f"run: {ids} (scale={header.get('scale')}, "
+            f"seed={header.get('seed')}, workers={header.get('workers')})"
+        )
+
+    overview = TextTable(
+        title="Run overview",
+        columns=["experiment", "status", "searches", "probes", "trials",
+                 "seconds"],
+    )
+    for exp in experiments:
+        status = "done" if exp.end is not None else "INCOMPLETE"
+        elapsed = exp.end.get("elapsed") if exp.end is not None else None
+        overview.add_row([
+            exp.name, status, exp.searches, exp.probes, exp.trials,
+            _fmt_seconds(elapsed) if elapsed is not None else "?",
+        ])
+    if experiments:
+        parts.append(overview.render())
+
+    for index, search in enumerate(searches, start=1):
+        start = search.start
+        bits = []
+        if "m_min" in start:
+            bits.append(f"m in [{start.get('m_min')}, {start.get('m_max')}]")
+        if "decision" in start:
+            bits.append(f"decision={start.get('decision')}")
+        if "delta" in start:
+            bits.append(f"delta={start.get('delta')}")
+        if search.end is None:
+            bits.append("INCOMPLETE")
+        elif search.end.get("found"):
+            bits.append(f"m*={search.end.get('m_star')}")
+        else:
+            bits.append("not found")
+        table = TextTable(
+            title=(f"minimal_m #{index} ({search.experiment})"
+                   + (": " + ", ".join(bits) if bits else "")),
+            columns=["m", "failures", "trials", "rate", "phase", "verdict",
+                     "seconds"],
+        )
+        for probe in search.probes:
+            trials = int(probe.get("trials", 0) or 0)
+            failures = int(probe.get("successes", 0) or 0)
+            rate = failures / trials if trials else float("nan")
+            table.add_row([
+                probe.get("m"), failures, trials, f"{rate:.3f}",
+                probe.get("phase", "?"),
+                "pass" if probe.get("passed") else "fail",
+                _fmt_seconds(probe.get("elapsed", 0.0)),
+            ])
+        parts.append(table.render())
+
+    if spans:
+        breakdown = TextTable(
+            title="Wall-clock breakdown (trace spans)",
+            columns=["span", "calls", "total s", "mean s"],
+        )
+        for name in sorted(spans, key=lambda n: -sum(spans[n])):
+            values = spans[name]
+            total = sum(values)
+            breakdown.add_row([
+                name, len(values), f"{total:.2f}",
+                f"{total / len(values):.4f}",
+            ])
+        parts.append(breakdown.render())
+
+    for exp in experiments:
+        if not exp.counters:
+            continue
+        table = TextTable(
+            title=f"Counters ({exp.name})", columns=["counter", "count"]
+        )
+        for name in sorted(exp.counters):
+            table.add_row([name, exp.counters[name]])
+        parts.append(table.render())
+
+    parts.append(
+        f"({len(events)} events, {len(experiments)} experiments, "
+        f"{len(searches)} searches, {batches} trial batches)"
+    )
+    return "\n\n".join(parts)
+
+
+def summarize_path(path: Union[str, Path]) -> str:
+    """Read a JSON-lines ledger file and render its summary."""
+    return summarize(read_events(path))

@@ -1,0 +1,41 @@
+"""Lightweight wall-clock tracing for named spans.
+
+:func:`trace` wraps a block and emits a ``trace`` event (name, caller
+fields, elapsed seconds) to the current ledger.  With no ledger installed
+it skips the timing entirely, so instrumented call sites cost one context
+variable read.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Any, Iterator
+
+from .ledger import current_ledger, emit_event
+
+__all__ = ["trace"]
+
+
+@contextlib.contextmanager
+def trace(name: str, **fields: Any) -> Iterator[None]:
+    """Time a block and emit a ``trace`` ledger event on exit.
+
+    ``fields`` become event payload entries and must therefore be
+    deterministic quantities (trial counts, dimensions — not wall-clock
+    or worker identity) so the ledger's deterministic-view contract holds;
+    the reserved keys ``name``/``elapsed``/``kind`` cannot be overridden.
+    The event is emitted even when the block raises, recording the time
+    spent before the failure.
+    """
+    if current_ledger() is None:
+        yield
+        return
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        emit_event(
+            "trace", name=name,
+            elapsed=time.perf_counter() - started, **fields
+        )

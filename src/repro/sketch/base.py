@@ -26,6 +26,7 @@ import scipy.sparse as sp
 
 from ..linalg.gram import max_column_sparsity
 from ..linalg.sparse_ops import densify, nnz
+from ..observe.counters import add_count
 from ..utils.rng import RngLike
 from ..utils.validation import check_positive_int
 from .kernels import ApplyKernel
@@ -142,7 +143,9 @@ class Sketch:
             )
         kernel = self.kernel
         if kernel is not None and not sp.issparse(a_arr):
+            add_count("kernel_applies")
             return np.asarray(kernel.apply(a_arr), dtype=float)
+        add_count("matrix_applies")
         result = self.matrix @ a_arr
         if sp.issparse(result):
             result = result.toarray()
@@ -158,9 +161,11 @@ class Sketch:
         """
         kernel = self.kernel
         if kernel is not None:
+            add_count("kernel_applies")
             if getattr(draw, "structured", False):
                 return kernel.sketched_basis(draw)
             return np.asarray(kernel.apply(draw.u), dtype=float)
+        add_count("matrix_applies")
         return draw.sketched_basis(self.matrix)
 
     def apply_cost(self, a: MatrixLike) -> int:
@@ -253,6 +258,7 @@ def sample_sketch(family: SketchFamily, rng: RngLike = None,
     before any randomness is consumed, so the fallback re-samples from the
     same stream deterministically.
     """
+    add_count("sketch_samples")
     if not lazy:
         return family.sample(rng)
     try:

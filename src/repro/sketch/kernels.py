@@ -33,6 +33,8 @@ from typing import Any, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from ..observe.counters import add_count
+
 #: A ``(m, n)`` sketch dimension pair (anything int-pair-shaped accepted).
 ShapeLike = Tuple[int, int]
 
@@ -109,6 +111,7 @@ class ApplyKernel(abc.ABC):
     def materialize(self) -> sp.csc_matrix:
         """The explicit matrix (cached after the first call)."""
         if self._csc is None:
+            add_count("kernel_materializations")
             self._csc = self._materialize()
         return self._csc
 

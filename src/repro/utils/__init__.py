@@ -3,6 +3,7 @@
 from .grids import dyadic_grid, geometric_grid, log_int_grid
 from .parallel import TrialExecutor, resolve_workers, run_trials
 from .rng import RngLike, as_generator, spawn, spawn_many, spawn_seeds, stream
+from .serialization import json_default, to_builtin
 from .stats import (
     BernoulliEstimate,
     estimate_probability,
@@ -38,6 +39,8 @@ __all__ = [
     "wilson_interval",
     "TextTable",
     "format_value",
+    "json_default",
+    "to_builtin",
     "dyadic_grid",
     "geometric_grid",
     "log_int_grid",

@@ -24,11 +24,14 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
+import time
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..observe.counters import counters
+from ..observe.ledger import emit_event
 from .rng import RngLike, spawn_seeds
 from .validation import check_positive_int
 
@@ -55,6 +58,35 @@ def resolve_workers(workers: Optional[int]) -> int:
 def _run_chunk(fn: TrialFn, seeds: Sequence[np.random.SeedSequence]) -> list:
     """Run ``fn`` over a batch of trial seeds, preserving order."""
     return [fn(seed) for seed in seeds]
+
+
+class _ChunkOutcome(NamedTuple):
+    """What one executed chunk ships back: results plus observability."""
+
+    pid: int
+    elapsed: float
+    counter_delta: Dict[str, int]
+    results: list
+
+
+def _run_chunk_observed(fn: TrialFn,
+                        seeds: Sequence[np.random.SeedSequence]
+                        ) -> _ChunkOutcome:
+    """Run a chunk and capture its wall-clock and counter delta.
+
+    Runs in the worker process for parallel dispatch; the counter delta
+    (including the ``trials`` count) is snapshotted there and merged back
+    into the parent so counter totals are identical for serial and
+    parallel runs of the same workload.
+    """
+    before = counters().snapshot()
+    started = time.perf_counter()
+    results = _run_chunk(fn, seeds)
+    counters().increment("trials", len(results))
+    elapsed = time.perf_counter() - started
+    return _ChunkOutcome(
+        os.getpid(), elapsed, counters().diff(before), results
+    )
 
 
 @dataclass(frozen=True)
@@ -101,13 +133,44 @@ class TrialExecutor:
         seeds = list(seeds)
         workers = resolve_workers(self.workers)
         if workers <= 1 or len(seeds) <= 1:
-            return _run_chunk(fn, seeds)
+            emit_event("batch_dispatch", batches=1, trials=len(seeds),
+                       parallel=False)
+            outcome = _run_chunk_observed(fn, seeds)
+            self._record(outcome, batch=0, span=(0, len(seeds)))
+            return outcome.results
         chunks = self._chunked(seeds, workers)
+        spans, start = [], 0
+        for chunk in chunks:
+            spans.append((start, start + len(chunk)))
+            start += len(chunk)
+        emit_event("batch_dispatch", batches=len(chunks),
+                   trials=len(seeds), parallel=True)
+        results: list = []
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=min(workers, len(chunks))
         ) as pool:
-            batched = pool.map(_run_chunk, [fn] * len(chunks), chunks)
-            return [result for batch in batched for result in batch]
+            batched = pool.map(
+                _run_chunk_observed, [fn] * len(chunks), chunks
+            )
+            for index, outcome in enumerate(batched):
+                self._record(outcome, batch=index, span=spans[index])
+                results.extend(outcome.results)
+        return results
+
+    @staticmethod
+    def _record(outcome: _ChunkOutcome, batch: int,
+                span: Tuple[int, int]) -> None:
+        """Absorb one chunk's observability: counters and a batch event.
+
+        Counter deltas are merged only when the chunk ran in another
+        process — in-process chunks already incremented this process's
+        aggregate directly.
+        """
+        if outcome.pid != os.getpid():
+            counters().merge(outcome.counter_delta)
+        emit_event("batch_done", batch=batch, span=list(span),
+                   trials=span[1] - span[0], worker=outcome.pid,
+                   elapsed=outcome.elapsed)
 
     def _chunked(self, seeds: List[np.random.SeedSequence],
                  workers: int) -> List[List[np.random.SeedSequence]]:

@@ -1,0 +1,44 @@
+"""JSON-safe coercion of numpy-bearing result payloads.
+
+Experiment metrics and table rows routinely pick up numpy scalar types
+(``np.int64`` loop indices, ``np.float32`` metric values) that the stdlib
+``json`` encoder rejects outright — ``json.dumps({"x": np.int64(3)})``
+raises ``TypeError``, which used to crash ``--json-dir`` saves *after* a
+completed run.  These helpers normalize such payloads to builtins.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["to_builtin", "json_default"]
+
+
+def to_builtin(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays to plain Python builtins.
+
+    Dictionaries, lists, and tuples are rebuilt (tuples become lists, as
+    JSON round-trips would anyway); numpy scalars become their Python
+    equivalents via ``.item()``; arrays become nested lists.  Builtins
+    pass through unchanged.
+    """
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {to_builtin(key): to_builtin(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_builtin(item) for item in value]
+    return value
+
+
+def json_default(value: Any) -> Any:
+    """``json.dumps(..., default=json_default)`` fallback for numpy types."""
+    if isinstance(value, (np.generic, np.ndarray)):
+        return to_builtin(value)
+    raise TypeError(
+        f"Object of type {type(value).__name__} is not JSON serializable"
+    )

@@ -16,6 +16,7 @@ from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..observe.trace import trace
 from .parallel import TrialExecutor
 from .rng import RngLike, as_generator
 from .validation import check_nonnegative_int, check_positive_int
@@ -166,7 +167,8 @@ def estimate_probability(event: Callable[[np.random.Generator], bool],
     """
     trials = check_positive_int(trials, "trials")
     executor = TrialExecutor(workers=workers, chunk_size=chunk_size)
-    outcomes = executor.run(partial(_event_trial, event), trials, rng)
+    with trace("estimate_probability", trials=trials):
+        outcomes = executor.run(partial(_event_trial, event), trials, rng)
     return BernoulliEstimate(sum(outcomes), trials, confidence)
 
 

@@ -27,9 +27,21 @@ class TestCli:
         err = capsys.readouterr().err
         assert "unknown experiment" in err
 
-    def test_bad_scale_rejected(self):
-        with pytest.raises(ValueError):
-            main(["E5", "--scale", "0"])
+    @pytest.mark.parametrize("scale", ["0", "-1", "nan", "inf", "abc"])
+    def test_bad_scale_is_a_usage_error(self, scale, capsys):
+        # argparse validation: exit code 2 plus a usage message, never a
+        # raw ValueError traceback.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["E5", "--scale", scale])
+        assert excinfo.value.code == 2
+        assert "scale must be" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("workers", ["-1", "-4", "two"])
+    def test_bad_workers_is_a_usage_error(self, workers, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["E5", "--scale", "0.2", "--workers", workers])
+        assert excinfo.value.code == 2
+        assert "workers must be" in capsys.readouterr().err
 
 
 class TestCliJson:
@@ -42,3 +54,44 @@ class TestCliJson:
 
         payload = json.loads(saved.read_text())
         assert payload["experiment_id"] == "E5"
+
+
+class TestCliLedger:
+    def test_ledger_written_and_summarizable(self, tmp_path, capsys):
+        from repro.observe import read_events
+        from repro.observe.__main__ import main as observe_main
+
+        path = tmp_path / "run.jsonl"
+        assert main(["E5", "--scale", "0.2", "--ledger", str(path)]) == 0
+        capsys.readouterr()
+        events = read_events(path)
+        kinds = {event["kind"] for event in events}
+        assert {"cli_start", "experiment_start", "experiment_end"} <= kinds
+        assert observe_main(["summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "E5" in out and "Run overview" in out
+
+    def test_ledger_does_not_change_results(self, tmp_path, capsys):
+        assert main(["E5", "--scale", "0.2", "--seed", "3"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["E5", "--scale", "0.2", "--seed", "3",
+                     "--ledger", str(tmp_path / "run.jsonl")]) == 0
+        with_ledger = capsys.readouterr().out
+
+        def stable(text):
+            return [line for line in text.splitlines()
+                    if "completed in" not in line]
+
+        assert stable(plain) == stable(with_ledger)
+
+    def test_progress_lines_on_stderr(self, capsys):
+        assert main(["E5", "--scale", "0.2", "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "[observe]" in err
+        assert "E5 start" in err
+
+    def test_summarize_missing_file_is_an_error(self, tmp_path, capsys):
+        from repro.observe.__main__ import main as observe_main
+
+        assert observe_main(["summarize", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read ledger" in capsys.readouterr().err

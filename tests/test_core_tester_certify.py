@@ -114,6 +114,130 @@ class TestMinimalM:
             minimal_m(fam, inst, 0.1, 0.1, growth=1.0)
 
 
+def _stub_threshold_estimate(threshold, trials=20):
+    """A ``failure_estimate`` stand-in: fails below ``threshold``, passes
+    at or above it, with deterministic all-or-nothing counts."""
+
+    def fake(family, instance, epsilon, probe_trials, rng=None,
+             fresh_sketch=True, workers=1, chunk_size=None):
+        from repro.utils.stats import BernoulliEstimate
+
+        failures = 0 if family.m >= threshold else trials
+        return BernoulliEstimate(failures, trials)
+
+    return fake
+
+
+class TestMinimalMBracket:
+    """Edge cases of the exponential/bisection bracket, driven by a
+    stubbed deterministic probe so pass/fail boundaries are exact."""
+
+    inst = DBeta(n=64, d=2, reps=1)
+    fam = CountSketch(m=4, n=64)
+
+    def _search(self, monkeypatch, threshold, **kwargs):
+        monkeypatch.setattr(
+            "repro.core.tester.failure_estimate",
+            _stub_threshold_estimate(threshold),
+        )
+        return minimal_m(self.fam, self.inst, 0.1, 0.1, trials=20,
+                         rng=0, **kwargs)
+
+    def test_overshoot_clamps_to_m_max(self, monkeypatch):
+        # Regression: with m_min=1, growth=2, m_max=100 the exponential
+        # phase used to probe 64 and stop without ever probing 100,
+        # returning found=False even though m_max passes.
+        result = self._search(monkeypatch, threshold=100,
+                              m_min=1, m_max=100, growth=2.0)
+        assert result.found
+        assert result.m_star == 100
+        probed = [m for m, _ in result.evaluations]
+        assert probed[:8] == [1, 2, 4, 8, 16, 32, 64, 100]
+        assert max(probed) == 100
+
+    def test_overshoot_with_larger_growth(self, monkeypatch):
+        result = self._search(monkeypatch, threshold=50,
+                              m_min=1, m_max=50, growth=3.0)
+        assert result.found and result.m_star == 50
+        assert [m for m, _ in result.evaluations][:5] == [1, 3, 9, 27, 50]
+
+    def test_m_max_still_failing_probes_it_once(self, monkeypatch):
+        result = self._search(monkeypatch, threshold=101,
+                              m_min=1, m_max=100, growth=2.0)
+        assert not result.found and result.m_star is None
+        probed = [m for m, _ in result.evaluations]
+        assert probed.count(100) == 1  # m_max probed exactly once
+        assert all(m <= 100 for m in probed)
+
+    def test_pass_at_m_min_short_circuits(self, monkeypatch):
+        result = self._search(monkeypatch, threshold=3,
+                              m_min=8, m_max=1000, growth=2.0)
+        assert result.m_star == 8
+        assert len(result.evaluations) == 1
+
+    def test_m_min_equals_m_max(self, monkeypatch):
+        passing = self._search(monkeypatch, threshold=7, m_min=7, m_max=7)
+        assert passing.found and passing.m_star == 7
+        assert len(passing.evaluations) == 1
+        failing = self._search(monkeypatch, threshold=8, m_min=7, m_max=7)
+        assert not failing.found
+        assert len(failing.evaluations) == 1
+
+    def test_bisection_tightens_bracket(self, monkeypatch):
+        result = self._search(monkeypatch, threshold=75,
+                              m_min=1, m_max=1000, growth=2.0)
+        # Exponential passes first at 128; bisection homes in on 75
+        # within the documented ~5% relative tolerance.
+        assert result.found
+        assert 75 <= result.m_star <= 79
+
+    @pytest.mark.parametrize("decision", ["point", "confident_pass",
+                                          "confident_fail"])
+    def test_each_decision_mode_searches(self, monkeypatch, decision):
+        def fake(family, instance, epsilon, trials, rng=None,
+                 fresh_sketch=True, workers=1, chunk_size=None):
+            from repro.utils.stats import BernoulliEstimate
+
+            failures = {1: 50, 2: 15, 3: 12, 4: 8, 5: 8, 6: 5, 7: 2,
+                        8: 2}.get(family.m, 0)
+            return BernoulliEstimate(failures, 100)
+
+        monkeypatch.setattr("repro.core.tester.failure_estimate", fake)
+        result = minimal_m(self.fam, self.inst, 0.1, 0.1, trials=100,
+                           m_min=1, m_max=8, growth=2.0,
+                           decision=decision, rng=0)
+        assert result.found
+        est = result.estimate_at(result.m_star)
+        if decision == "point":
+            assert est.point <= 0.1
+        elif decision == "confident_pass":
+            assert est.high <= 0.1
+        else:
+            assert est.low <= 0.1
+
+    def test_decision_modes_order_conservatively(self, monkeypatch):
+        def fake(family, instance, epsilon, trials, rng=None,
+                 fresh_sketch=True, workers=1, chunk_size=None):
+            from repro.utils.stats import BernoulliEstimate
+
+            failures = {1: 50, 2: 15, 3: 12, 4: 8, 5: 8, 6: 5, 7: 2,
+                        8: 2}.get(family.m, 0)
+            return BernoulliEstimate(failures, 100)
+
+        stars = {}
+        for decision in ("confident_fail", "point", "confident_pass"):
+            monkeypatch.setattr(
+                "repro.core.tester.failure_estimate", fake
+            )
+            stars[decision] = minimal_m(
+                self.fam, self.inst, 0.1, 0.1, trials=100, m_min=1,
+                m_max=8, growth=2.0, decision=decision, rng=0,
+            ).m_star
+        # Optimistic <= unbiased <= conservative.
+        assert stars["confident_fail"] <= stars["point"] \
+            <= stars["confident_pass"]
+
+
 class TestCertify:
     def test_refutes_undersized_sketch(self):
         inst = DBeta(n=512, d=8, reps=1)

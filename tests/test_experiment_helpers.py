@@ -100,3 +100,64 @@ class TestPlantedPiAndDraw:
         )
         est = escape_probability(pi, draw, p, q, 0.05)
         assert est.point >= 0.25
+
+
+class TestExperimentResultNumpyJson:
+    """Regression: numpy scalars in metrics/rows crashed save_json.
+
+    ``json.dumps({"x": np.int64(3)})`` raises ``TypeError``, so a result
+    whose metrics or table rows held numpy scalars made ``--json-dir``
+    fail *after* a completed run.  ``to_dict`` now coerces to builtins.
+    """
+
+    def _numpy_result(self):
+        from repro.experiments.harness import ExperimentResult
+        from repro.utils.tables import TextTable
+
+        result = ExperimentResult(experiment_id="ET", title="numpy json")
+        result.metrics["int64"] = np.int64(3)
+        result.metrics["float32"] = np.float32(1.5)
+        result.metrics["float64"] = np.float64(2.25)
+        table = TextTable(title="raw", columns=["a", "b"])
+        # Rows assigned directly (as from_dict does) can carry raw numpy
+        # scalars that add_row's formatting would otherwise absorb.
+        table.rows = [[np.int64(7), np.float32(0.5)]]
+        result.tables.append(table)
+        result.notes.append("plain note")
+        result.elapsed_seconds = np.float64(0.125)
+        return result
+
+    def test_to_dict_coerces_numpy_scalars(self):
+        import json
+
+        payload = self._numpy_result().to_dict()
+        text = json.dumps(payload)  # must not raise TypeError
+        loaded = json.loads(text)
+        assert loaded["metrics"] == {"int64": 3, "float32": 1.5,
+                                     "float64": 2.25}
+        assert loaded["tables"][0]["rows"] == [[7, 0.5]]
+        assert loaded["elapsed_seconds"] == pytest.approx(0.125)
+
+    def test_save_json_round_trips(self, tmp_path):
+        from repro.experiments.harness import ExperimentResult
+
+        result = self._numpy_result()
+        path = result.save_json(tmp_path / "ET.json")
+        loaded = ExperimentResult.load_json(path)
+        assert loaded.metrics == {"int64": 3, "float32": 1.5,
+                                  "float64": 2.25}
+        assert loaded.experiment_id == "ET"
+
+    def test_to_builtin_helper(self):
+        from repro.utils.serialization import json_default, to_builtin
+
+        assert to_builtin(np.int64(3)) == 3
+        assert type(to_builtin(np.int64(3))) is int
+        assert to_builtin(np.float32(0.5)) == pytest.approx(0.5)
+        assert type(to_builtin(np.float32(0.5))) is float
+        assert to_builtin({np.int64(1): [np.float64(2.0), (np.int8(3),)]}) \
+            == {1: [2.0, [3]]}
+        assert to_builtin(np.arange(3)) == [0, 1, 2]
+        assert json_default(np.int64(5)) == 5
+        with pytest.raises(TypeError):
+            json_default(object())

@@ -1,0 +1,336 @@
+"""Tests for the observability layer (``repro.observe``).
+
+Covers the counter arithmetic, the ledger's buffering/fork/no-op
+contracts, trace spans, the deterministic-view guarantee (serial vs
+``workers=4`` event payloads identical modulo timing fields), the
+harness's ``count_*`` metrics, and the ``summarize`` renderer.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.tester import distortion_samples, minimal_m
+from repro.experiments.harness import Experiment
+from repro.hardinstances.dbeta import DBeta
+from repro.hardinstances.mixtures import section3_mixture
+from repro.observe import (
+    Counters,
+    RunLedger,
+    add_count,
+    counters,
+    current_ledger,
+    deterministic_view,
+    emit_event,
+    read_events,
+    trace,
+    use_ledger,
+)
+from repro.observe.summarize import summarize, summarize_path
+from repro.sketch.countsketch import CountSketch
+from repro.utils.stats import estimate_probability
+
+pytestmark = pytest.mark.observe
+
+
+class TestCounters:
+    def test_increment_and_get(self):
+        c = Counters()
+        c.increment("x")
+        c.increment("x", 4)
+        assert c.get("x") == 5
+        assert c.get("never") == 0
+
+    def test_snapshot_diff(self):
+        c = Counters({"a": 2})
+        before = c.snapshot()
+        c.increment("a", 3)
+        c.increment("b")
+        assert c.diff(before) == {"a": 3, "b": 1}
+        # Unchanged counters do not appear in the delta.
+        c2 = Counters({"a": 1})
+        assert c2.diff(c2.snapshot()) == {}
+
+    def test_merge_clear(self):
+        c = Counters({"a": 1})
+        c.merge({"a": 2, "b": 5})
+        assert c.as_dict() == {"a": 3, "b": 5}
+        c.clear()
+        assert len(c) == 0
+
+    def test_global_add_count(self):
+        before = counters().snapshot()
+        add_count("test_only_counter", 7)
+        assert counters().diff(before) == {"test_only_counter": 7}
+
+
+class TestRunLedger:
+    def test_emit_without_ledger_is_noop(self):
+        assert current_ledger() is None
+        emit_event("probe", m=1)  # must not raise or record anywhere
+
+    def test_context_installs_and_keeps_events(self):
+        with RunLedger() as ledger:
+            assert current_ledger() is ledger
+            emit_event("probe", m=3, successes=1, trials=10)
+        assert current_ledger() is None
+        [event] = ledger.events
+        assert event["kind"] == "probe" and event["m"] == 3
+        assert "t" in event
+
+    def test_closed_ledger_drops_events(self):
+        with RunLedger() as ledger:
+            pass
+        ledger.emit("probe", m=1)
+        assert ledger.events == []
+
+    def test_foreign_pid_events_rejected(self):
+        ledger = RunLedger()
+        ledger._pid = os.getpid() + 1  # simulate a forked worker
+        ledger.emit("probe", m=1)
+        assert ledger.events == []
+
+    def test_buffered_writes(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLedger(path, buffer_lines=2) as ledger:
+            ledger.emit("a")
+            assert not path.exists()  # still buffered
+            ledger.emit("b")
+            assert len(path.read_text().splitlines()) == 2
+            ledger.emit("c")
+        # close() flushes the tail.
+        assert [e["kind"] for e in read_events(path)] == ["a", "b", "c"]
+
+    def test_appends_across_runs(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        for kind in ("first", "second"):
+            with RunLedger(path) as ledger:
+                ledger.emit(kind)
+        assert [e["kind"] for e in read_events(path)] == ["first", "second"]
+
+    def test_numpy_fields_serialized(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.emit("probe", m=np.int64(8), rate=np.float32(0.5))
+        [event] = read_events(path)
+        assert event["m"] == 8
+        assert event["rate"] == pytest.approx(0.5)
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"kind": "a"}\n{"kind": "b"')
+        assert [e["kind"] for e in read_events(path)] == ["a"]
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"kind": "a"}\nnot json\n{"kind": "b"}\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_events(path)
+
+    def test_use_ledger_does_not_close(self):
+        ledger = RunLedger()
+        with use_ledger(ledger):
+            emit_event("x")
+        emit_event("ignored")  # no longer installed
+        ledger.emit("y")  # but still open
+        assert [e["kind"] for e in ledger.events] == ["x", "y"]
+
+    def test_bad_buffer_size_rejected(self):
+        with pytest.raises(ValueError):
+            RunLedger(buffer_lines=0)
+
+
+class TestTrace:
+    def test_trace_emits_elapsed(self):
+        with RunLedger() as ledger:
+            with trace("span", trials=12):
+                pass
+        [event] = ledger.events
+        assert event["kind"] == "trace" and event["name"] == "span"
+        assert event["trials"] == 12
+        assert event["elapsed"] >= 0.0
+
+    def test_trace_without_ledger_is_noop(self):
+        with trace("span"):
+            pass
+
+    def test_trace_emits_on_exception(self):
+        with RunLedger() as ledger:
+            with pytest.raises(RuntimeError):
+                with trace("span"):
+                    raise RuntimeError("boom")
+        assert [e["kind"] for e in ledger.events] == ["trace"]
+
+
+class TestDeterministicView:
+    def test_strips_timing_and_execution(self):
+        events = [
+            {"t": 1.0, "kind": "probe", "m": 8, "elapsed": 0.5},
+            {"t": 2.0, "kind": "batch_done", "batch": 0, "worker": 123},
+            {"t": 3.0, "kind": "experiment_start", "experiment": "E1",
+             "workers": 4},
+        ]
+        assert deterministic_view(events) == [
+            {"kind": "probe", "m": 8},
+            {"kind": "experiment_start", "experiment": "E1"},
+        ]
+
+
+def _run_search_with_ledger(workers):
+    inst = section3_mixture(n=512, d=4, epsilon=1 / 16)
+    fam = CountSketch(m=8, n=512)
+    with RunLedger() as ledger:
+        result = minimal_m(
+            fam, inst, 1 / 16, 0.2, trials=16, m_min=8, rng=11,
+            workers=workers,
+        )
+    return result, ledger.events
+
+
+class TestLedgerDeterminism:
+    def test_serial_vs_parallel_payloads_identical(self):
+        serial_result, serial_events = _run_search_with_ledger(workers=1)
+        parallel_result, parallel_events = _run_search_with_ledger(workers=4)
+        assert serial_result.m_star == parallel_result.m_star
+        assert serial_result.evaluations == parallel_result.evaluations
+        assert deterministic_view(serial_events) == \
+            deterministic_view(parallel_events)
+        # The parallel run has *more* raw events (per-chunk batch_done),
+        # which is exactly what the deterministic view factors out.
+        assert len(parallel_events) > len(serial_events)
+
+    def test_probe_events_match_evaluations(self):
+        result, events = _run_search_with_ledger(workers=1)
+        probes = [e for e in events if e["kind"] == "probe"]
+        assert [(p["m"], p["successes"], p["trials"]) for p in probes] == \
+            [(m, est.successes, est.trials) for m, est in result.evaluations]
+        assert all(p["decision"] == "point" for p in probes)
+        assert {p["phase"] for p in probes} <= {"exponential", "bisection"}
+        start = [e for e in events if e["kind"] == "minimal_m_start"]
+        end = [e for e in events if e["kind"] == "minimal_m_end"]
+        assert len(start) == 1 and len(end) == 1
+        assert end[0]["m_star"] == result.m_star
+        assert end[0]["probes"] == len(result.evaluations)
+
+    def test_trial_loop_traces_emitted(self):
+        inst = DBeta(n=128, d=4, reps=1)
+        fam = CountSketch(m=16, n=128)
+        with RunLedger() as ledger:
+            distortion_samples(fam, inst, trials=6, rng=0)
+            estimate_probability(lambda gen: gen.random() < 0.5, 8, rng=0)
+        names = [e["name"] for e in ledger.events if e["kind"] == "trace"]
+        assert names == ["distortion_samples", "estimate_probability"]
+        batches = [e for e in ledger.events if e["kind"] == "batch_done"]
+        assert sum(b["trials"] for b in batches) == 14
+
+    def test_ledger_does_not_perturb_results(self):
+        inst = DBeta(n=128, d=4, reps=1)
+        fam = CountSketch(m=16, n=128)
+        plain = distortion_samples(fam, inst, trials=8, rng=7)
+        with RunLedger():
+            observed = distortion_samples(fam, inst, trials=8, rng=7)
+        np.testing.assert_array_equal(plain, observed)
+
+
+class _CountingExperiment(Experiment):
+    experiment_id = "EX"
+    title = "counter fixture"
+    paper_claim = "n/a"
+
+    def _run(self, scale, rng):
+        result = self._result()
+        inst = DBeta(n=128, d=4, reps=1)
+        distortion_samples(
+            CountSketch(m=16, n=128), inst, trials=8, rng=0,
+            workers=self.workers,
+        )
+        result.metrics["answer"] = 42.0
+        return result
+
+
+class TestExperimentCounters:
+    def test_count_metrics_attached(self):
+        result = _CountingExperiment().run(scale=1.0, rng=0)
+        assert result.metrics["count_trials"] == 8
+        assert result.metrics["count_sketch_samples"] == 8
+        assert result.metrics["count_kernel_applies"] == 8
+        assert result.metrics["answer"] == 42.0
+
+    def test_count_metrics_identical_across_workers(self):
+        serial = _CountingExperiment().run(scale=1.0, rng=0)
+        parallel = _CountingExperiment().run(scale=1.0, rng=0, workers=2)
+        assert serial.metrics == parallel.metrics
+
+    def test_experiment_events_bracket_run(self):
+        with RunLedger() as ledger:
+            _CountingExperiment().run(scale=1.0, rng=0)
+        kinds = [e["kind"] for e in ledger.events]
+        assert kinds[0] == "experiment_start"
+        assert kinds[-2:] == ["counters", "experiment_end"]
+        end = ledger.events[-1]
+        assert end["metrics"]["count_trials"] == 8
+        counter_event = ledger.events[-2]
+        assert counter_event["experiment"] == "EX"
+        assert counter_event["trials"] == 8
+
+
+class TestSummarize:
+    def _ledger_events(self, tmp_path, workers=1):
+        inst = section3_mixture(n=512, d=4, epsilon=1 / 16)
+        fam = CountSketch(m=8, n=512)
+        path = tmp_path / "run.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.emit("cli_start", experiments=["E1"], scale=0.05,
+                        seed=0, workers=workers)
+            result = minimal_m(fam, inst, 1 / 16, 0.2, trials=16,
+                               m_min=8, rng=11, workers=workers)
+        return path, result
+
+    def test_every_probe_reported(self, tmp_path):
+        path, result = self._ledger_events(tmp_path)
+        text = summarize_path(path)
+        for m, est in result.evaluations:
+            assert f"{m}" in text
+        assert "minimal_m #1" in text
+        assert f"m*={result.m_star}" in text
+        assert "Wall-clock breakdown" in text
+
+    def test_incomplete_run_is_diagnosable(self):
+        # A crashed run: experiment and search started, no end events.
+        events = [
+            {"t": 0, "kind": "experiment_start", "experiment": "E3"},
+            {"t": 1, "kind": "minimal_m_start", "m_min": 4, "m_max": 64,
+             "decision": "point", "delta": 0.1},
+            {"t": 2, "kind": "probe", "m": 4, "successes": 9, "trials": 10,
+             "passed": False, "phase": "exponential", "elapsed": 0.5},
+        ]
+        text = summarize(events)
+        assert "INCOMPLETE" in text
+        assert "E3" in text
+        assert "0.900" in text  # the probe's failure rate
+
+    def test_empty_ledger(self):
+        text = summarize([])
+        assert "0 events" in text
+
+    def test_counters_table(self):
+        events = [
+            {"t": 0, "kind": "experiment_start", "experiment": "E1"},
+            {"t": 1, "kind": "counters", "experiment": "E1",
+             "sketch_samples": 20, "trials": 20},
+            {"t": 2, "kind": "experiment_end", "experiment": "E1",
+             "elapsed": 1.0, "metrics": {}},
+        ]
+        text = summarize(events)
+        assert "Counters (E1)" in text
+        assert "sketch_samples" in text
+
+
+class TestResultJsonRoundTrip:
+    def test_summarized_ledger_json_parseable(self, tmp_path):
+        # Each ledger line individually parses as a JSON object.
+        path, _ = TestSummarize()._ledger_events(tmp_path)
+        for line in path.read_text().splitlines():
+            assert isinstance(json.loads(line), dict)
