@@ -1,0 +1,113 @@
+"""Experiment-level checkpoint/resume on top of ``save_json``/``load_json``.
+
+A checkpoint is the byte-exact ``ExperimentResult.save_json`` payload of a
+*completed* experiment plus a small ``.meta.json`` sidecar recording the
+run configuration it is valid for (seed, scale).  On ``--resume`` the CLI
+skips any experiment with a matching checkpoint and copies the stored
+bytes straight into ``--json-dir``, so a killed-midway run restarted with
+``--resume`` produces JSON artifacts bit-identical to an uninterrupted
+run (result JSON deliberately excludes wall-clock — see
+:meth:`repro.experiments.harness.ExperimentResult.to_dict`).
+
+Both files are written atomically (temp file + ``os.replace``) so a crash
+mid-save can never leave a checkpoint that parses but lies.  Any mismatch
+— different seed or scale, unreadable JSON, missing sidecar — makes
+:meth:`ExperimentCheckpoint.load` return ``None`` and the experiment
+simply re-runs; a stale checkpoint is never an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
+
+from ..observe.counters import add_count
+from ..observe.ledger import emit_event
+from ..utils.serialization import json_default
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..experiments.harness import ExperimentResult
+
+__all__ = ["ExperimentCheckpoint"]
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+class ExperimentCheckpoint:
+    """Store of completed-experiment results keyed by experiment id."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self._directory = Path(directory)
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def path_for(self, experiment_id: str) -> Path:
+        """Result-JSON path for one experiment's checkpoint."""
+        return self._directory / f"{experiment_id}.json"
+
+    def _meta_path(self, experiment_id: str) -> Path:
+        return self._directory / f"{experiment_id}.meta.json"
+
+    def save(self, result: "ExperimentResult", *, seed: Optional[int],
+             scale: float) -> Path:
+        """Checkpoint a completed result for the given run configuration."""
+        self._directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(result.experiment_id)
+        # Must match ExperimentResult.save_json byte-for-byte, since
+        # --resume copies these bytes into --json-dir.
+        payload = json.dumps(
+            result.to_dict(), indent=2, default=json_default,
+        )
+        _atomic_write_text(path, payload)
+        meta: Dict[str, Any] = {
+            "experiment_id": result.experiment_id,
+            "seed": seed,
+            "scale": scale,
+        }
+        _atomic_write_text(
+            self._meta_path(result.experiment_id),
+            json.dumps(meta, indent=2, sort_keys=True),
+        )
+        add_count("checkpoint_save")
+        emit_event("checkpoint_save", experiment=result.experiment_id,
+                   seed=seed, scale=scale)
+        return path
+
+    def load(self, experiment_id: str, *, seed: Optional[int],
+             scale: float) -> Optional["ExperimentResult"]:
+        """Completed result for this exact (seed, scale), else ``None``."""
+        from ..experiments.harness import ExperimentResult
+
+        path = self.path_for(experiment_id)
+        meta_path = self._meta_path(experiment_id)
+        if not path.exists() or not meta_path.exists():
+            return None
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError):
+            return None
+        if meta.get("seed") != seed or meta.get("scale") != scale:
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            result = ExperimentResult.from_dict(payload)
+        except (json.JSONDecodeError, OSError, KeyError, ValueError):
+            return None
+        if result.experiment_id != experiment_id:
+            return None
+        return result
+
+    def raw_bytes(self, experiment_id: str) -> bytes:
+        """The checkpoint's exact on-disk JSON bytes (for ``--json-dir``)."""
+        return self.path_for(experiment_id).read_bytes()
+
+    def __repr__(self) -> str:
+        return f"ExperimentCheckpoint({self._directory})"

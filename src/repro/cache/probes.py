@@ -1,0 +1,175 @@
+"""Disk-backed, content-addressed cache of Monte-Carlo probe results.
+
+A :class:`ProbeCache` maps the canonical hash of a probe specification —
+sketch-family spec, hard-instance spec, probe parameters, and the seed
+fingerprint of the caller's RNG (:func:`repro.utils.rng.seed_fingerprint`)
+— to the probe's result plus the operation-counter delta it accrued.
+
+The cache is **invisible to results** by construction.  Because the seed
+fingerprint pins the exact child-stream layout, a cached value is the
+bit-identical outcome the computation would produce; the caller
+(:mod:`repro.core.tester`) additionally replays the computation's
+spawn-counter consumption and merges the stored counter delta, so a
+cache-hit run leaves the RNG *and* the ``count_*`` metrics in exactly the
+state a cache-miss (or cache-off) run would.  Only wall-clock and the
+ledger's ``cache_hit``/``cache_miss`` events betray the difference.
+
+Every lookup is reported through :mod:`repro.observe`: a ``cache_hit`` or
+``cache_miss`` ledger event plus ``cache_hit``/``cache_miss`` counters
+(excluded from result metrics — see
+:data:`repro.experiments.harness.NON_RESULT_COUNTER_PREFIXES`), which is
+how ``python -m repro.observe summarize`` computes hit rates and how the
+tests certify that a warm re-run executed zero new trials.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, NamedTuple, Optional, Union
+
+from ..observe.counters import add_count
+from ..observe.ledger import emit_event
+from .keys import cache_key, canonical_json
+from .store import JsonlStore
+
+__all__ = ["CachedProbe", "ProbeCache", "ScopedProbeCache"]
+
+#: Counter names that describe the caching machinery itself; never stored
+#: in cached records (merging them back would double-count bookkeeping).
+_BOOKKEEPING_PREFIXES = ("cache_", "checkpoint_")
+
+
+class CachedProbe(NamedTuple):
+    """One cached probe result: the value plus its counter delta."""
+
+    value: Dict[str, Any]
+    counters: Dict[str, int]
+
+
+class ProbeCache:
+    """Content-addressed probe store over an append-only JSONL file.
+
+    Parameters
+    ----------
+    directory:
+        Cache directory; the record file is ``<directory>/probes.jsonl``.
+        Created on first use.
+
+    The in-memory index is loaded once at construction; records appended
+    by *this* process are indexed as they are written.  Records appended
+    concurrently by another process become visible to a fresh
+    ``ProbeCache`` over the same directory (each CLI invocation opens its
+    own).
+    """
+
+    FILENAME = "probes.jsonl"
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self._directory = Path(directory)
+        self._store = JsonlStore(self._directory / self.FILENAME)
+        self._index: Dict[str, Dict[str, Any]] = {}
+        for record in self._store.load():
+            key = record.get("key")
+            if isinstance(key, str):
+                self._index[key] = record
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    @property
+    def path(self) -> Path:
+        """The JSONL record file."""
+        return self._store.path
+
+    def get(self, kind: str, spec: Dict[str, Any]) -> Optional[CachedProbe]:
+        """Look up a probe; emits ``cache_hit``/``cache_miss`` either way."""
+        key = cache_key(kind, spec)
+        record = self._index.get(key)
+        if record is None:
+            add_count("cache_miss")
+            emit_event("cache_miss", cache_kind=kind, key=key[:16],
+                       m=spec.get("m"), trials=spec.get("trials"))
+            return None
+        if record.get("spec") is not None and \
+                canonical_json(record["spec"]) != canonical_json(spec):
+            raise ValueError(
+                f"probe cache corruption: key {key[:16]} holds a record "
+                f"whose stored spec disagrees with the request"
+            )
+        add_count("cache_hit")
+        emit_event("cache_hit", cache_kind=kind, key=key[:16],
+                   m=spec.get("m"), trials=spec.get("trials"))
+        return CachedProbe(
+            value=dict(record.get("value", {})),
+            counters={
+                str(name): int(count)
+                for name, count in record.get("counters", {}).items()
+            },
+        )
+
+    def put(self, kind: str, spec: Dict[str, Any], value: Dict[str, Any],
+            counters: Optional[Dict[str, int]] = None) -> None:
+        """Record a computed probe (bookkeeping counters are stripped)."""
+        key = cache_key(kind, spec)
+        stored_counters = {
+            name: int(count) for name, count in (counters or {}).items()
+            if not name.startswith(_BOOKKEEPING_PREFIXES)
+        }
+        record = {
+            "key": key,
+            "kind": kind,
+            "spec": spec,
+            "value": value,
+            "counters": stored_counters,
+        }
+        self._index[key] = record
+        self._store.append(record)
+
+    def scoped(self, **extra: Any) -> "ScopedProbeCache":
+        """A view that folds ``extra`` into every spec it touches.
+
+        Used by :func:`repro.core.tester.minimal_m` to include its
+        ``decision`` rule in probe keys without widening the
+        ``failure_estimate`` signature.
+        """
+        return ScopedProbeCache(self, extra)
+
+    def close(self) -> None:
+        self._store.close()
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __repr__(self) -> str:
+        return f"ProbeCache({self._directory}, {len(self._index)} records)"
+
+
+class ScopedProbeCache:
+    """A :class:`ProbeCache` view whose specs carry extra scope fields."""
+
+    def __init__(self, base: ProbeCache, extra: Dict[str, Any]) -> None:
+        self._base = base
+        self._extra = dict(extra)
+
+    def _scoped_spec(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        merged = dict(spec)
+        scope = dict(merged.get("scope", {}))
+        scope.update(self._extra)
+        merged["scope"] = scope
+        return merged
+
+    def get(self, kind: str, spec: Dict[str, Any]) -> Optional[CachedProbe]:
+        return self._base.get(kind, self._scoped_spec(spec))
+
+    def put(self, kind: str, spec: Dict[str, Any], value: Dict[str, Any],
+            counters: Optional[Dict[str, int]] = None) -> None:
+        self._base.put(kind, self._scoped_spec(spec), value, counters)
+
+    def scoped(self, **extra: Any) -> "ScopedProbeCache":
+        merged = dict(self._extra)
+        merged.update(extra)
+        return ScopedProbeCache(self._base, merged)
+
+    def __repr__(self) -> str:
+        return f"ScopedProbeCache({self._base!r}, extra={self._extra})"

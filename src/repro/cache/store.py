@@ -1,0 +1,91 @@
+"""Append-only JSON-lines record store backing the probe cache.
+
+The store holds one JSON object per line and only ever *appends*: records
+are immutable facts ("probe X evaluated to Y"), so there is nothing to
+update in place and a crash can at worst leave one torn trailing line,
+which :meth:`JsonlStore.load` tolerates exactly like the run ledger's
+:func:`repro.observe.ledger.read_events`.
+
+Safety under the :class:`~repro.utils.parallel.TrialExecutor` process
+pool comes from two properties:
+
+* cache lookups and stores happen in the *parent* process (the trial
+  functions shipped to workers never see the cache), and the store
+  refuses appends from any process other than the one that opened it —
+  a forked worker inheriting the handle cannot write duplicate or torn
+  lines;
+* each record is written with a single buffered ``write`` + ``flush`` of
+  one ``\\n``-terminated line to a file opened in append mode, so
+  concurrent *separate* CLI processes sharing one cache directory
+  interleave whole lines.  Duplicate keys are harmless — both lines hold
+  the same value by construction and the loader keeps the last.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Any, Dict, Iterator, List, Optional, Union
+
+__all__ = ["JsonlStore"]
+
+
+class JsonlStore:
+    """Append-only JSONL file with torn-trailing-line-tolerant loading."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self._path = Path(path)
+        self._pid = os.getpid()
+        self._handle: Optional[IO[str]] = None
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def load(self) -> List[Dict[str, Any]]:
+        """All records currently on disk, oldest first.
+
+        A torn trailing line (crash or concurrent writer mid-append) is
+        skipped; an unparseable *earlier* line raises, since that means
+        corruption rather than an interrupted write.
+        """
+        if not self._path.exists():
+            return []
+        lines = self._path.read_text(encoding="utf-8").splitlines()
+        records: List[Dict[str, Any]] = []
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if number == len(lines):
+                    break
+                raise ValueError(
+                    f"{self._path}: unparseable cache line {number}: "
+                    f"{line[:80]!r}"
+                ) from None
+        return records
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Append one record; a no-op in forked child processes."""
+        if os.getpid() != self._pid:
+            return
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        if self._handle is None:
+            self._handle = open(self._path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Release the append handle (idempotent; reopened on demand)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self.load())
+
+    def __repr__(self) -> str:
+        return f"JsonlStore({self._path})"

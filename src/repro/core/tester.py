@@ -13,17 +13,18 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from functools import partial
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..hardinstances.dbeta import HardInstance
 from ..linalg.distortion import distortion_of_product
+from ..observe.counters import counters
 from ..observe.ledger import emit_event
 from ..observe.trace import trace
 from ..sketch.base import Sketch, SketchFamily, sample_sketch
 from ..utils.parallel import TrialExecutor
-from ..utils.rng import RngLike, as_generator, spawn
+from ..utils.rng import RngLike, as_generator, seed_fingerprint, spawn, spawn_seeds
 from ..utils.stats import BernoulliEstimate
 from ..utils.validation import check_epsilon, check_positive_int, check_probability
 
@@ -44,6 +45,14 @@ def _distortion_trial(family: SketchFamily, instance: HardInstance,
     for process-pool workers.  All randomness comes from ``seed``, making
     the trial independent of execution order.
 
+    Seed-stream contract (pinned by ``tests/test_core_tester.py``): the
+    trial *always* splits its seed into exactly two children,
+    ``(sketch_seed, draw_seed) = seed.spawn(2)``, and draws the subspace
+    from ``draw_seed`` — also when ``fixed`` is given and ``sketch_seed``
+    goes unused.  The fixed-sketch path therefore consumes the same
+    per-trial child-seed layout as the fresh path, so toggling
+    ``fresh_sketch`` never shifts which stream feeds the instance draws.
+
     Fresh sketches are drawn ``lazy=True`` so kernel-backed families skip
     scipy matrix assembly entirely; ``basis_image`` then runs on the
     matrix-free kernel (bit-identical to the materialized path).
@@ -55,12 +64,29 @@ def _distortion_trial(family: SketchFamily, instance: HardInstance,
     return distortion_of_product(sketch.basis_image(draw))
 
 
+def _probe_spec(family: SketchFamily, instance: HardInstance,
+                fingerprint: Dict[str, Any], trials: int,
+                **params: Any) -> Dict[str, Any]:
+    """Content-address spec for one probe: *what* is computed, and from
+    which stream state — never *how* (``workers``/``chunk_size`` excluded,
+    since results are bit-identical across execution strategies)."""
+    return {
+        "family": family.spec(),
+        "instance": instance.spec(),
+        "m": family.m,
+        "trials": trials,
+        "seed": fingerprint,
+        **params,
+    }
+
+
 def failure_estimate(family: SketchFamily, instance: HardInstance,
                      epsilon: float, trials: int,
                      rng: RngLike = None,
                      fresh_sketch: bool = True,
                      workers: Optional[int] = 1,
-                     chunk_size: Optional[int] = None) -> BernoulliEstimate:
+                     chunk_size: Optional[int] = None,
+                     cache: Optional[Any] = None) -> BernoulliEstimate:
     """Estimate ``P[Π is NOT an ε-embedding for U]``.
 
     Each trial draws ``U`` from ``instance`` and (by default) a fresh
@@ -72,6 +98,17 @@ def failure_estimate(family: SketchFamily, instance: HardInstance,
     ``workers`` distributes the trials over a process pool (``None``/``0``
     = all CPUs).  Results are bit-identical across ``workers`` settings at
     a fixed seed: each trial consumes only its own pre-derived child seed.
+
+    ``cache`` (a :class:`repro.cache.ProbeCache` or scoped view, duck-typed
+    so this module never imports the cache package) reuses results across
+    runs: the probe is keyed by family/instance spec, parameters, and the
+    RNG's :func:`~repro.utils.rng.seed_fingerprint`, so a hit is by
+    construction the value this call would compute.  On a hit the call
+    still advances ``rng``'s spawn counter exactly as the computation
+    would and merges the stored operation-counter delta, keeping warm
+    runs bit-identical to cold and cache-off runs — downstream draws and
+    ``count_*`` metrics included.  RNGs without a recorded seed sequence
+    are uncacheable and silently bypass the cache.
     """
     epsilon = check_epsilon(epsilon)
     trials = check_positive_int(trials, "trials")
@@ -81,6 +118,27 @@ def failure_estimate(family: SketchFamily, instance: HardInstance,
             f"({instance.n})"
         )
     gen = as_generator(rng)
+    spec = None
+    if cache is not None:
+        fingerprint = seed_fingerprint(gen)
+        if fingerprint is not None:
+            spec = _probe_spec(
+                family, instance, fingerprint, trials,
+                epsilon=epsilon, fresh_sketch=fresh_sketch,
+            )
+            hit = cache.get("failure_estimate", spec)
+            if hit is not None:
+                # Replay the computation's spawn consumption (one child
+                # for the fixed sketch, one per trial) and its counter
+                # delta, so the parent stream and metrics end up exactly
+                # where a cache miss would leave them.
+                spawn_seeds(gen, trials + (0 if fresh_sketch else 1))
+                counters().merge(hit.counters)
+                return BernoulliEstimate(
+                    int(hit.value["successes"]), int(hit.value["trials"]),
+                    float(hit.value["confidence"]),
+                )
+    before = counters().snapshot() if spec is not None else {}
     fixed = None if fresh_sketch \
         else sample_sketch(family, spawn(gen), lazy=True)
     executor = TrialExecutor(workers=workers, chunk_size=chunk_size)
@@ -89,26 +147,59 @@ def failure_estimate(family: SketchFamily, instance: HardInstance,
             partial(_distortion_trial, family, instance, fixed), trials, gen
         )
     failures = sum(1 for value in distortions if value > epsilon)
-    return BernoulliEstimate(failures, trials)
+    estimate = BernoulliEstimate(failures, trials)
+    if spec is not None:
+        cache.put(
+            "failure_estimate", spec,
+            {
+                "successes": estimate.successes,
+                "trials": estimate.trials,
+                "confidence": estimate.confidence,
+            },
+            counters().diff(before),
+        )
+    return estimate
 
 
 def distortion_samples(family: SketchFamily, instance: HardInstance,
                        trials: int, rng: RngLike = None,
                        workers: Optional[int] = 1,
-                       chunk_size: Optional[int] = None) -> np.ndarray:
+                       chunk_size: Optional[int] = None,
+                       cache: Optional[Any] = None) -> np.ndarray:
     """Sampled distortions (one per trial) — the full failure CDF.
 
     Shares :func:`failure_estimate`'s trial engine and determinism
     guarantee: the returned array is bit-identical for any ``workers``
-    setting at a fixed seed.
+    setting at a fixed seed — and, with ``cache`` given, for cold, warm,
+    and cache-off runs (the cached array is stored exactly and the RNG
+    spawn counter replayed on hits; see :func:`failure_estimate`).
     """
     trials = check_positive_int(trials, "trials")
+    gen = as_generator(rng)
+    spec = None
+    if cache is not None:
+        fingerprint = seed_fingerprint(gen)
+        if fingerprint is not None:
+            spec = _probe_spec(family, instance, fingerprint, trials)
+            hit = cache.get("distortion_samples", spec)
+            if hit is not None:
+                spawn_seeds(gen, trials)
+                counters().merge(hit.counters)
+                return np.asarray(hit.value["values"], dtype=float)
+    before = counters().snapshot() if spec is not None else {}
     executor = TrialExecutor(workers=workers, chunk_size=chunk_size)
     with trace("distortion_samples", m=family.m, trials=trials):
         values = executor.run(
-            partial(_distortion_trial, family, instance, None), trials, rng
+            partial(_distortion_trial, family, instance, None), trials, gen
         )
-    return np.asarray(values, dtype=float)
+    samples = np.asarray(values, dtype=float)
+    if spec is not None:
+        cache.put(
+            "distortion_samples", spec,
+            {"values": [float(value) for value in samples]},
+            counters().diff(before),
+        )
+    return samples
 
 
 @dataclass
@@ -155,7 +246,8 @@ def minimal_m(family: SketchFamily, instance: HardInstance, epsilon: float,
               decision: str = "point",
               rng: RngLike = None,
               workers: Optional[int] = 1,
-              chunk_size: Optional[int] = None) -> MinimalMResult:
+              chunk_size: Optional[int] = None,
+              cache: Optional[Any] = None) -> MinimalMResult:
     """Search for the minimal ``m`` with failure rate ≤ ``δ``.
 
     Exponential search upward from ``m_min`` (factor ``growth``) until a
@@ -185,6 +277,15 @@ def minimal_m(family: SketchFamily, instance: HardInstance, epsilon: float,
     * ``"confident_fail"`` — Wilson lower limit ≤ δ: an optimistic
       (lower-bound) estimate; use when quoting the measured value as an
       empirical *lower* bound on the threshold.
+
+    ``cache`` threads a probe cache (see :func:`failure_estimate`) into
+    every probe, scoped by ``search="minimal_m"`` and the ``decision``
+    rule — the rule shapes *which* ``m`` values get probed, so probes
+    under different rules must not alias.  Warm-starting the bracket
+    falls out of content addressing: the adaptive schedule is a
+    deterministic function of probe outcomes, so a warm re-run replays
+    the exact cold-run probe sequence against the cache and re-derives
+    the bracket (and ``m_star``) with zero new trials executed.
     """
     epsilon = check_epsilon(epsilon)
     delta = check_probability(delta, "delta")
@@ -200,6 +301,8 @@ def minimal_m(family: SketchFamily, instance: HardInstance, epsilon: float,
         )
     gen = as_generator(rng)
     result = MinimalMResult(m_star=None, delta=delta)
+    probe_cache = None if cache is None \
+        else cache.scoped(search="minimal_m", decision=decision)
 
     def passes(est: BernoulliEstimate) -> bool:
         if decision == "confident_pass":
@@ -212,7 +315,7 @@ def minimal_m(family: SketchFamily, instance: HardInstance, epsilon: float,
         started = time.perf_counter()
         est = failure_estimate(
             family.with_m(m), instance, epsilon, trials, spawn(gen),
-            workers=workers, chunk_size=chunk_size,
+            workers=workers, chunk_size=chunk_size, cache=probe_cache,
         )
         result.evaluations.append((m, est))
         ok = passes(est)

@@ -7,6 +7,13 @@ Usage::
     python -m repro.experiments all --scale 0.25 --seed 7
     python -m repro.experiments E1 --scale 0.05 --workers 2 \\
         --ledger run.jsonl --progress
+    python -m repro.experiments all --cache-dir .probe-cache --resume
+
+``--cache-dir`` enables the content-addressed probe cache and per-
+experiment checkpoints (see :mod:`repro.cache` and docs/caching.md);
+``--resume`` additionally skips experiments whose checkpoint matches the
+requested seed and scale, reusing the checkpointed JSON byte-for-byte.
+Results are bit-identical with the cache on, off, cold, or warm.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from contextlib import ExitStack
 from pathlib import Path
 from typing import Optional
 
+from ..observe.counters import add_count
 from ..observe.ledger import RunLedger, emit_event
 from .registry import EXPERIMENTS, experiment_ids, run_experiment
 
@@ -85,12 +93,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="print live probe/experiment progress to stderr",
     )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache Monte-Carlo probes in DIR/probes.jsonl and checkpoint "
+             "completed experiments under DIR/checkpoints/ "
+             "(results are identical with or without the cache)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip experiments already checkpointed in --cache-dir for "
+             "this seed and scale, reusing their JSON byte-for-byte",
+    )
     return parser
 
 
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.resume and args.cache_dir is None:
+        parser.error("--resume requires --cache-dir")
     if args.experiment is None:
         for eid in experiment_ids():
             cls = EXPERIMENTS[eid]
@@ -106,6 +128,14 @@ def main(argv=None) -> int:
             print(f"unknown experiment {eid!r}; known: "
                   f"{', '.join(experiment_ids())}", file=sys.stderr)
             return 2
+    cache = None
+    checkpoints = None
+    if args.cache_dir is not None:
+        from ..cache import ExperimentCheckpoint, ProbeCache
+
+        cache_dir = Path(args.cache_dir)
+        cache = ProbeCache(cache_dir)
+        checkpoints = ExperimentCheckpoint(cache_dir / "checkpoints")
     ledger: Optional[RunLedger] = None
     if args.ledger is not None or args.progress:
         ledger = RunLedger(args.ledger, progress=args.progress)
@@ -115,17 +145,45 @@ def main(argv=None) -> int:
             emit_event(
                 "cli_start", experiments=targets, scale=args.scale,
                 seed=args.seed, workers=args.workers,
+                cache_dir=args.cache_dir, resume=args.resume,
             )
         for eid in targets:
-            result = run_experiment(
-                eid, scale=args.scale, rng=args.seed, workers=args.workers
-            )
+            resumed = False
+            if args.resume and checkpoints is not None:
+                result = checkpoints.load(
+                    eid, seed=args.seed, scale=args.scale
+                )
+                resumed = result is not None
+            if not resumed:
+                result = run_experiment(
+                    eid, scale=args.scale, rng=args.seed,
+                    workers=args.workers, cache=cache,
+                )
+                if checkpoints is not None:
+                    checkpoints.save(
+                        result, seed=args.seed, scale=args.scale
+                    )
+            else:
+                add_count("checkpoint_hit")
+                emit_event(
+                    "experiment_resumed", experiment=eid,
+                    seed=args.seed, scale=args.scale,
+                )
             print(result.render())
             print()
             if args.json_dir is not None:
                 directory = Path(args.json_dir)
                 directory.mkdir(parents=True, exist_ok=True)
-                result.save_json(directory / f"{eid}.json")
+                if resumed and checkpoints is not None:
+                    # Copy the checkpoint's exact bytes so resumed runs
+                    # produce artifacts bit-identical to uninterrupted ones.
+                    (directory / f"{eid}.json").write_bytes(
+                        checkpoints.raw_bytes(eid)
+                    )
+                else:
+                    result.save_json(directory / f"{eid}.json")
+        if cache is not None:
+            cache.close()
     return 0
 
 

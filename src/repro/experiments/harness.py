@@ -1,6 +1,6 @@
 """Experiment harness.
 
-Every experiment (E1–E12 of DESIGN.md) is a subclass of
+Every experiment (E1–E14 of DESIGN.md) is a subclass of
 :class:`Experiment` producing an :class:`ExperimentResult` — one or more
 plain-text tables plus a dictionary of scalar metrics that the benchmarks
 and EXPERIMENTS.md assertions key off.
@@ -28,8 +28,15 @@ from ..utils.tables import TextTable
 __all__ = [
     "ExperimentResult",
     "Experiment",
+    "NON_RESULT_COUNTER_PREFIXES",
     "scaled_int",
 ]
+
+#: Counter-name prefixes describing caching/checkpoint bookkeeping rather
+#: than the computation itself.  Excluded from ``count_*`` result metrics:
+#: a warm-cache run hits where a cold run misses, and metrics must stay
+#: bit-identical across cold, warm, and cache-off runs.
+NON_RESULT_COUNTER_PREFIXES = ("cache_", "checkpoint_")
 
 
 def scaled_int(base: int, scale: float, minimum: int = 1) -> int:
@@ -55,7 +62,10 @@ class ExperimentResult:
     notes:
         Free-form commentary lines (substitutions, caveats).
     elapsed_seconds:
-        Wall-clock runtime.
+        Wall-clock runtime.  Shown by :meth:`render` but deliberately
+        **excluded** from :meth:`to_dict`: JSON artifacts must be
+        byte-identical across re-runs of the same seed (checkpoint/resume
+        and the CI cache smoke diff them), and wall-clock never is.
     """
 
     experiment_id: str
@@ -87,6 +97,10 @@ class ExperimentResult:
         (``np.int64`` counts, ``np.float32`` metrics) would otherwise make
         ``json.dumps`` raise ``TypeError`` and crash ``--json-dir`` saves
         after a completed run.
+
+        ``elapsed_seconds`` is intentionally absent — see the class
+        docstring.  :meth:`from_dict` still accepts legacy payloads that
+        carry it.
         """
         return {
             "experiment_id": self.experiment_id,
@@ -101,7 +115,6 @@ class ExperimentResult:
             ],
             "metrics": to_builtin(dict(self.metrics)),
             "notes": [to_builtin(note) for note in self.notes],
-            "elapsed_seconds": to_builtin(self.elapsed_seconds),
         }
 
     def save_json(self, path: Union[str, Path]) -> Path:
@@ -114,7 +127,13 @@ class ExperimentResult:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ExperimentResult":
-        """Rebuild a result from :meth:`to_dict` output."""
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Table rows are validated against the column count on load: a row
+        of the wrong arity used to be assigned silently and only blow up
+        (or, worse, render shifted columns) much later, far from the
+        corrupt JSON that caused it.
+        """
         result = cls(
             experiment_id=payload["experiment_id"],
             title=payload["title"],
@@ -124,7 +143,19 @@ class ExperimentResult:
         )
         for spec in payload.get("tables", []):
             table = TextTable(title=spec["title"], columns=spec["columns"])
-            table.rows = [list(row) for row in spec["rows"]]
+            width = len(table.columns)
+            rows = []
+            for index, row in enumerate(spec["rows"]):
+                row = list(row)
+                if len(row) != width:
+                    raise ValueError(
+                        f"table {table.title!r} of experiment "
+                        f"{result.experiment_id!r}: row {index} has "
+                        f"{len(row)} cells, expected {width} "
+                        f"(columns: {list(table.columns)})"
+                    )
+                rows.append(row)
+            table.rows = rows
             result.tables.append(table)
         return result
 
@@ -150,6 +181,8 @@ class Experiment(abc.ABC):
 
     #: Worker processes for Monte-Carlo trial loops; set by :meth:`run`.
     _workers: int = 1
+    #: Probe cache for ``failure_estimate``/``minimal_m``; set by :meth:`run`.
+    _cache = None
 
     @property
     def workers(self) -> int:
@@ -162,34 +195,56 @@ class Experiment(abc.ABC):
         """
         return self._workers
 
+    @property
+    def cache(self):
+        """Probe cache for this run's Monte-Carlo helpers (or ``None``).
+
+        Experiment implementations pass this as the ``cache=`` argument of
+        ``failure_estimate`` / ``distortion_samples`` / ``minimal_m``;
+        results stay bit-identical with the cache on, off, cold, or warm
+        (see :mod:`repro.cache`).
+        """
+        return self._cache
+
     def run(self, scale: float = 1.0, rng: RngLike = None,
-            workers: int = 1) -> ExperimentResult:
+            workers: int = 1, cache=None) -> ExperimentResult:
         """Run the experiment; ``scale`` shrinks or grows the workload.
 
         ``workers`` parallelizes the experiment's Monte-Carlo trial loops
         over a process pool (``None``/``0`` = all CPUs) without changing
-        any result at a fixed seed.
+        any result at a fixed seed.  ``cache`` (a
+        :class:`repro.cache.ProbeCache`) lets those loops reuse probe
+        results across runs, likewise without changing any result.
 
         Operation counts accrued during the run (sketch samples, kernel
         applies, trials — see :mod:`repro.observe.counters`) are attached
         to the result as ``count_*`` metrics; they are identical for
-        serial and parallel runs of the same seed.  With a run ledger
-        installed, ``experiment_start``/``counters``/``experiment_end``
-        events bracket the run.
+        serial and parallel runs of the same seed, and for cached and
+        uncached runs — cache bookkeeping counters
+        (:data:`NON_RESULT_COUNTER_PREFIXES`) are reported to the ledger
+        but kept out of the metrics.  With a run ledger installed,
+        ``experiment_start``/``counters``/``experiment_end`` events
+        bracket the run.
         """
         if scale <= 0:
             raise ValueError(f"scale must be positive, got {scale}")
         self._workers = workers
+        self._cache = cache
         emit_event(
             "experiment_start", experiment=self.experiment_id,
             title=self.title, scale=scale, workers=workers,
         )
         before = counters().snapshot()
         started = time.perf_counter()
-        result = self._run(scale, as_generator(rng))
+        try:
+            result = self._run(scale, as_generator(rng))
+        finally:
+            self._cache = None
         result.elapsed_seconds = time.perf_counter() - started
         delta = counters().diff(before)
         for name in sorted(delta):
+            if name.startswith(NON_RESULT_COUNTER_PREFIXES):
+                continue
             result.metrics.setdefault(f"count_{name}", delta[name])
         emit_event("counters", experiment=self.experiment_id, **delta)
         emit_event(

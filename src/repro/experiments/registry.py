@@ -70,17 +70,23 @@ def get_experiment(experiment_id: str) -> Experiment:
 
 def run_experiment(experiment_id: str, scale: float = 1.0,
                    rng: RngLike = None,
-                   workers: int = 1) -> ExperimentResult:
-    """Run one experiment by id; ``workers`` parallelizes its trial loops."""
+                   workers: int = 1, cache=None) -> ExperimentResult:
+    """Run one experiment by id.
+
+    ``workers`` parallelizes its trial loops; ``cache`` (a
+    :class:`repro.cache.ProbeCache`) reuses probe results across runs —
+    neither changes any result at a fixed seed.
+    """
     return get_experiment(experiment_id).run(
-        scale=scale, rng=rng, workers=workers
+        scale=scale, rng=rng, workers=workers, cache=cache
     )
 
 
 def run_all(scale: float = 1.0, rng: RngLike = None,
-            workers: int = 1) -> List[ExperimentResult]:
+            workers: int = 1, cache=None) -> List[ExperimentResult]:
     """Run every experiment, returning results in order."""
     return [
-        run_experiment(eid, scale=scale, rng=rng, workers=workers)
+        run_experiment(eid, scale=scale, rng=rng, workers=workers,
+                       cache=cache)
         for eid in experiment_ids()
     ]

@@ -139,6 +139,16 @@ class HardInstance(abc.ABC):
     def name(self) -> str:
         return type(self).__name__
 
+    def spec(self) -> dict:
+        """Canonical JSON-able description of this distribution.
+
+        The hard-instance component of content-addressed cache keys
+        (:mod:`repro.cache`): two instances with equal specs must be the
+        same distribution, so subclasses with extra parameters extend the
+        returned dictionary.
+        """
+        return {"type": type(self).__qualname__, "n": self._n, "d": self._d}
+
     @abc.abstractmethod
     def sample_draw(self, rng: RngLike = None) -> HardDraw:
         """Draw a matrix together with its generating randomness."""
@@ -197,6 +207,11 @@ class DBeta(HardInstance):
     @property
     def name(self) -> str:
         return f"DBeta[reps={self._reps}]"
+
+    def spec(self) -> dict:
+        base = super().spec()
+        base.update(reps=self._reps, distinct_rows=self._distinct_rows)
+        return base
 
     @classmethod
     def from_beta(cls, n: int, d: int, beta: float,

@@ -58,6 +58,11 @@ class SpikedSubspace(HardInstance):
     def name(self) -> str:
         return f"SpikedSubspace[alpha={self._alpha:g}]"
 
+    def spec(self) -> dict:
+        base = super().spec()
+        base["alpha"] = self._alpha
+        return base
+
     def sample_draw(self, rng: RngLike = None) -> HardDraw:
         gen = as_generator(rng)
         rows = gen.choice(self.n, size=self.d, replace=False)

@@ -78,6 +78,14 @@ class MixtureInstance(HardInstance):
         inner = ", ".join(c.name for c in self._components)
         return f"Mixture({inner})"
 
+    def spec(self) -> dict:
+        base = super().spec()
+        base.update(
+            components=[comp.spec() for comp in self._components],
+            weights=[float(w) for w in self._weights],
+        )
+        return base
+
     def sample_draw(self, rng: RngLike = None) -> HardDraw:
         gen = as_generator(rng)
         index = int(gen.choice(len(self._components), p=self._weights))

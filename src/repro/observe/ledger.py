@@ -53,9 +53,13 @@ __all__ = [
 ]
 
 #: Event kinds that describe *how* work was executed (worker ids, chunk
-#: spans) rather than *what* was computed; excluded from the deterministic
-#: view because chunking legitimately differs across ``workers`` settings.
-EXECUTION_KINDS = frozenset({"batch_dispatch", "batch_done"})
+#: spans, probe-cache reuse) rather than *what* was computed; excluded
+#: from the deterministic view because chunking legitimately differs
+#: across ``workers`` settings and cache hits/misses across cache states.
+EXECUTION_KINDS = frozenset({
+    "batch_dispatch", "batch_done",
+    "cache_hit", "cache_miss", "checkpoint_save", "experiment_resumed",
+})
 
 #: Per-event fields that carry wall-clock or process identity and are
 #: stripped from the deterministic view.
@@ -278,4 +282,8 @@ def _progress_line(event: Dict[str, Any]) -> Optional[str]:
     if kind == "experiment_end":
         return (f"[observe] {event.get('experiment')} done "
                 f"[{event.get('elapsed', 0.0):.1f}s]")
+    if kind == "experiment_resumed":
+        return (f"[observe] {event.get('experiment')} resumed from "
+                f"checkpoint (seed={event.get('seed')}, "
+                f"scale={event.get('scale')})")
     return None

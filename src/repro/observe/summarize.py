@@ -9,7 +9,9 @@ event list) reconstructs, from the JSON-lines events alone:
   ``(m, failures, trials, rate, phase, verdict, seconds)``;
 * a wall-clock breakdown aggregated over ``trace`` spans and trial
   batches;
-* counter aggregates per experiment.
+* counter aggregates per experiment;
+* probe-cache hit rates (from ``cache_hit``/``cache_miss`` events) and
+  resumed-from-checkpoint experiments, when a run used ``--cache-dir``.
 
 The renderer never requires end events: a crashed ``all --scale 1.0`` run
 summarizes up to its last flushed line, with incomplete experiments and
@@ -47,6 +49,8 @@ class _Experiment:
         self.trials = 0
         self.searches = 0
         self.counters: Dict[str, int] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
 
 
 def _fmt_seconds(value: Any) -> str:
@@ -59,6 +63,9 @@ def summarize(events: List[Dict[str, Any]]) -> str:
     searches: List[_Search] = []
     spans: Dict[str, List[float]] = {}
     batches = 0
+    cache_hits = 0
+    cache_misses = 0
+    resumed: List[str] = []
     current_exp: Optional[_Experiment] = None
     current_search: Optional[_Search] = None
     header: Optional[Dict[str, Any]] = None
@@ -107,6 +114,16 @@ def summarize(events: List[Dict[str, Any]]) -> str:
                         current_exp.counters.get(key, 0) + int(value)
         elif kind == "batch_done":
             batches += 1
+        elif kind == "cache_hit":
+            cache_hits += 1
+            if current_exp is not None:
+                current_exp.cache_hits += 1
+        elif kind == "cache_miss":
+            cache_misses += 1
+            if current_exp is not None:
+                current_exp.cache_misses += 1
+        elif kind == "experiment_resumed":
+            resumed.append(str(event.get("experiment")))
 
     parts: List[str] = []
     if header is not None:
@@ -128,8 +145,28 @@ def summarize(events: List[Dict[str, Any]]) -> str:
             exp.name, status, exp.searches, exp.probes, exp.trials,
             _fmt_seconds(elapsed) if elapsed is not None else "?",
         ])
-    if experiments:
+    for name in resumed:
+        overview.add_row([name, "resumed", 0, 0, 0, "-"])
+    if experiments or resumed:
         parts.append(overview.render())
+
+    if cache_hits or cache_misses:
+        lookups = cache_hits + cache_misses
+        rate = 100.0 * cache_hits / lookups
+        cache_table = TextTable(
+            title=(f"Probe cache: {cache_hits}/{lookups} hits "
+                   f"({rate:.1f}%)"),
+            columns=["experiment", "hits", "misses", "hit rate"],
+        )
+        for exp in experiments:
+            exp_lookups = exp.cache_hits + exp.cache_misses
+            if not exp_lookups:
+                continue
+            cache_table.add_row([
+                exp.name, exp.cache_hits, exp.cache_misses,
+                f"{100.0 * exp.cache_hits / exp_lookups:.1f}%",
+            ])
+        parts.append(cache_table.render())
 
     for index, search in enumerate(searches, start=1):
         start = search.start

@@ -28,6 +28,7 @@ from ..linalg.gram import max_column_sparsity
 from ..linalg.sparse_ops import densify, nnz
 from ..observe.counters import add_count
 from ..utils.rng import RngLike
+from ..utils.serialization import to_builtin
 from ..utils.validation import check_positive_int
 from .kernels import ApplyKernel
 
@@ -229,6 +230,21 @@ class SketchFamily(abc.ABC):
         either way, so lazy and eager draws at the same seed hold the same
         matrix.  Families without a kernel ignore the flag.
         """
+
+    def spec(self) -> Dict[str, Any]:
+        """Canonical JSON-able description of this family.
+
+        Used as the sketch-family component of content-addressed cache
+        keys (:mod:`repro.cache`): two families with equal specs must be
+        the same distribution.  The default covers any subclass whose
+        :meth:`_resize_params` returns its full constructor signature;
+        families composed of other families override to embed the inner
+        specs.
+        """
+        return {
+            "type": type(self).__qualname__,
+            "params": to_builtin(self._resize_params()),
+        }
 
     def with_m(self, m: int) -> "SketchFamily":
         """A copy of this family with a different target dimension.

@@ -67,6 +67,14 @@ class TwoStageSketch(SketchFamily):
         """Resize the *outer* stage (the final dimension)."""
         return TwoStageSketch(self._inner, self._outer.with_m(m))
 
+    def spec(self) -> dict:
+        """Canonical description embedding both stage specs."""
+        return {
+            "type": type(self).__qualname__,
+            "inner": self._inner.spec(),
+            "outer": self._outer.spec(),
+        }
+
     def sample(self, rng: RngLike = None, lazy: bool = False) -> Sketch:
         gen = as_generator(rng)
         inner = sample_sketch(self._inner, spawn(gen), lazy=lazy)
@@ -153,6 +161,13 @@ class StackedSketch(SketchFamily):
     def name(self) -> str:
         inner = ", ".join(f.name for f in self._families)
         return f"Stacked[{inner}]"
+
+    def spec(self) -> dict:
+        """Canonical description embedding every block's spec."""
+        return {
+            "type": type(self).__qualname__,
+            "families": [family.spec() for family in self._families],
+        }
 
     def sample(self, rng: RngLike = None, lazy: bool = False) -> Sketch:
         # Stacking needs every block materialized anyway; ``lazy`` is a

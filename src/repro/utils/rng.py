@@ -22,13 +22,14 @@ parent generator.  Consequences callers can rely on:
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
 __all__ = [
     "RngLike",
     "as_generator",
+    "seed_fingerprint",
     "spawn",
     "spawn_many",
     "spawn_seeds",
@@ -98,6 +99,39 @@ def spawn_seeds(rng: RngLike, count: int) -> List[np.random.SeedSequence]:
         # repro-lint: disable-next-line=RPL002
         seq = np.random.SeedSequence(entropy)
     return seq.spawn(count)
+
+
+def seed_fingerprint(rng: RngLike = None) -> Optional[Dict[str, Any]]:
+    """A canonical, JSON-able description of the stream state behind ``rng``.
+
+    The fingerprint captures exactly what determines every child stream
+    :func:`spawn_seeds` will derive next: the backing seed sequence's
+    entropy, spawn key, pool size, and how many children it has already
+    spawned.  Two RNGs with equal fingerprints produce bit-identical
+    spawned streams, which makes the fingerprint the right "seed entropy"
+    component for content-addressed caching of Monte-Carlo computations
+    (see :mod:`repro.cache`).
+
+    Returns ``None`` for generators that carry no
+    :class:`~numpy.random.SeedSequence` (e.g. restored from a raw bit
+    generator state) — their spawn behaviour is draw-derived and cannot be
+    described without perturbing the stream, so callers must treat them as
+    uncacheable.
+    """
+    seq = _seed_sequence_of(rng)
+    if seq is None:
+        return None
+    entropy: Any = seq.entropy
+    if isinstance(entropy, (list, tuple)):
+        entropy = [int(item) for item in entropy]
+    elif entropy is not None:
+        entropy = int(entropy)
+    return {
+        "entropy": entropy,
+        "spawn_key": [int(key) for key in seq.spawn_key],
+        "pool_size": int(seq.pool_size),
+        "children_spawned": int(seq.n_children_spawned),
+    }
 
 
 def spawn(rng: RngLike = None) -> np.random.Generator:

@@ -128,9 +128,20 @@ class BernoulliEstimate:
         return self.low >= threshold
 
     def merge(self, other: "BernoulliEstimate") -> "BernoulliEstimate":
-        """Pool trials from two estimates of the same quantity."""
+        """Pool trials from two estimates of the same quantity.
+
+        Both estimates must quote the same confidence level; pooling a
+        0.95-interval estimate into a 0.99 one would silently relabel the
+        merged interval (this guards ``MinimalMResult.estimate_at``, which
+        pools repeated probes of one target dimension).
+        """
         if not isinstance(other, BernoulliEstimate):
             raise TypeError("can only merge with another BernoulliEstimate")
+        if other.confidence != self.confidence:
+            raise ValueError(
+                f"cannot pool estimates with different confidence levels "
+                f"({self.confidence} vs {other.confidence})"
+            )
         return BernoulliEstimate(
             self.successes + other.successes,
             self.trials + other.trials,

@@ -1,0 +1,345 @@
+"""Tests for :mod:`repro.cache` — the probe cache and checkpoint/resume.
+
+The cardinal invariant under test: cold-cache, warm-cache, and cache-off
+runs at a fixed seed are **bit-identical** — in returned values, in the
+state of the caller's RNG afterwards, and in ``count_*`` metrics.  Run
+alone with ``pytest -m cache``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    ExperimentCheckpoint,
+    JsonlStore,
+    ProbeCache,
+    cache_key,
+    canonical_json,
+)
+from repro.core.tester import distortion_samples, failure_estimate, minimal_m
+from repro.hardinstances.dbeta import DBeta
+from repro.observe.counters import counters
+from repro.observe.ledger import RunLedger
+from repro.sketch.countsketch import CountSketch
+
+pytestmark = pytest.mark.cache
+
+
+def _family():
+    return CountSketch(m=40, n=64)
+
+
+def _instance():
+    return DBeta(n=64, d=4, reps=1)
+
+
+class TestCanonicalKeys:
+    def test_key_order_independent(self):
+        assert cache_key("k", {"a": 1, "b": 2}) == cache_key("k", {"b": 2, "a": 1})
+
+    def test_numpy_scalars_normalize(self):
+        assert cache_key("k", {"m": np.int64(7), "eps": np.float64(0.5)}) \
+            == cache_key("k", {"m": 7, "eps": 0.5})
+
+    def test_kind_separates_namespaces(self):
+        assert cache_key("a", {"x": 1}) != cache_key("b", {"x": 1})
+
+    def test_nested_spec_stable(self):
+        spec = {"family": _family().spec(), "instance": _instance().spec()}
+        assert cache_key("k", spec) == cache_key("k", json.loads(canonical_json(spec)))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+
+class TestJsonlStore:
+    def test_round_trip_and_persistence(self, tmp_path):
+        store = JsonlStore(tmp_path / "s.jsonl")
+        store.append({"a": 1})
+        store.append({"b": [1, 2]})
+        store.close()
+        assert JsonlStore(tmp_path / "s.jsonl").load() == [{"a": 1}, {"b": [1, 2]}]
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert JsonlStore(tmp_path / "none.jsonl").load() == []
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"a": 1}\n{"b": 2}\n{"torn": ')
+        assert JsonlStore(path).load() == [{"a": 1}, {"b": 2}]
+
+    def test_earlier_corruption_raises(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"a": 1}\nnot json\n{"b": 2}\n')
+        with pytest.raises(ValueError, match="line 2"):
+            JsonlStore(path).load()
+
+
+class TestProbeCacheStore:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ProbeCache(tmp_path)
+        spec = {"m": 8, "trials": 10}
+        assert cache.get("failure_estimate", spec) is None
+        cache.put("failure_estimate", spec, {"successes": 3},
+                  {"trials": 10, "cache_miss": 1})
+        hit = cache.get("failure_estimate", spec)
+        assert hit.value == {"successes": 3}
+        # Bookkeeping counters are stripped before storage so replaying
+        # the delta never double-counts cache machinery.
+        assert hit.counters == {"trials": 10}
+
+    def test_survives_reload(self, tmp_path):
+        ProbeCache(tmp_path).put("k", {"x": 1}, {"v": 2}, {"trials": 5})
+        hit = ProbeCache(tmp_path).get("k", {"x": 1})
+        assert hit is not None and hit.value == {"v": 2}
+
+    def test_scoped_view_separates_keys(self, tmp_path):
+        cache = ProbeCache(tmp_path)
+        point = cache.scoped(search="minimal_m", decision="point")
+        confident = cache.scoped(search="minimal_m", decision="confident_pass")
+        point.put("failure_estimate", {"m": 8}, {"successes": 1})
+        assert confident.get("failure_estimate", {"m": 8}) is None
+        assert point.get("failure_estimate", {"m": 8}).value == {"successes": 1}
+        # The unscoped spec is untouched as well.
+        assert cache.get("failure_estimate", {"m": 8}) is None
+
+
+class TestFailureEstimateBitIdentity:
+    def _run(self, cache, seed=7, fresh_sketch=True):
+        gen = np.random.default_rng(seed)
+        est = failure_estimate(_family(), _instance(), 0.5, 20, gen,
+                               fresh_sketch=fresh_sketch, cache=cache)
+        # The tail draw certifies that the parent stream ends in the same
+        # state on hit and miss (spawn-counter replay).
+        tail = gen.integers(0, 10**9, 4).tolist()
+        return est, tail
+
+    @pytest.mark.parametrize("fresh_sketch", [True, False])
+    def test_off_cold_warm_identical(self, tmp_path, fresh_sketch):
+        off = self._run(None, fresh_sketch=fresh_sketch)
+        cache = ProbeCache(tmp_path)
+        cold = self._run(cache, fresh_sketch=fresh_sketch)
+        warm = self._run(cache, fresh_sketch=fresh_sketch)
+        assert off == cold == warm
+
+    def test_counter_deltas_identical_cold_vs_warm(self, tmp_path):
+        cache = ProbeCache(tmp_path)
+        before = counters().snapshot()
+        self._run(cache)
+        cold = counters().diff(before)
+        before = counters().snapshot()
+        self._run(cache)
+        warm = counters().diff(before)
+        strip = lambda d: {k: v for k, v in d.items()  # noqa: E731
+                           if not k.startswith(("cache_", "checkpoint_"))}
+        assert strip(cold) == strip(warm)
+        assert cold.get("cache_miss") == 1 and "cache_hit" not in cold
+        assert warm.get("cache_hit") == 1 and "cache_miss" not in warm
+
+    def test_warm_run_executes_zero_trials(self, tmp_path):
+        cache = ProbeCache(tmp_path)
+        self._run(cache)
+        with RunLedger() as ledger:
+            self._run(cache)
+        kinds = [event["kind"] for event in ledger.events]
+        assert "batch_dispatch" not in kinds  # no trial engine invocation
+        assert kinds.count("cache_hit") == 1
+
+    def test_different_seeds_do_not_alias(self, tmp_path):
+        cache = ProbeCache(tmp_path)
+        self._run(cache, seed=7)
+        before = counters().snapshot()
+        self._run(cache, seed=8)
+        assert counters().diff(before).get("cache_miss") == 1
+
+    def test_fingerprintless_rng_bypasses_cache(self, tmp_path, monkeypatch):
+        # An RNG whose stream state cannot be fingerprinted (no recorded
+        # SeedSequence) is uncacheable and must silently compute.
+        monkeypatch.setattr("repro.core.tester.seed_fingerprint",
+                            lambda rng: None)
+        cache = ProbeCache(tmp_path)
+        est = failure_estimate(_family(), _instance(), 0.5, 5,
+                               np.random.default_rng(3), cache=cache)
+        assert est.trials == 5
+        assert len(cache) == 0
+
+
+class TestDistortionSamplesBitIdentity:
+    def _run(self, cache, seed=9):
+        gen = np.random.default_rng(seed)
+        values = distortion_samples(_family(), _instance(), 12, gen,
+                                    cache=cache)
+        return values, gen.integers(0, 10**9, 4).tolist()
+
+    def test_off_cold_warm_identical(self, tmp_path):
+        off_values, off_tail = self._run(None)
+        cache = ProbeCache(tmp_path)
+        cold_values, cold_tail = self._run(cache)
+        warm_values, warm_tail = self._run(cache)
+        np.testing.assert_array_equal(off_values, cold_values)
+        np.testing.assert_array_equal(off_values, warm_values)
+        assert off_tail == cold_tail == warm_tail
+
+    def test_arrays_round_trip_exactly_through_disk(self, tmp_path):
+        cache = ProbeCache(tmp_path)
+        cold_values, _ = self._run(cache)
+        warm_values, _ = self._run(ProbeCache(tmp_path))  # fresh index
+        np.testing.assert_array_equal(cold_values, warm_values)
+        assert warm_values.dtype == np.float64
+
+
+class TestMinimalMWarmStart:
+    def _search(self, cache, seed=3, decision="point"):
+        return minimal_m(_family(), _instance(), 0.5, 0.3, trials=15,
+                         m_min=4, m_max=256, decision=decision,
+                         rng=np.random.default_rng(seed), cache=cache)
+
+    def test_off_cold_warm_identical(self, tmp_path):
+        off = self._search(None)
+        cache = ProbeCache(tmp_path)
+        cold = self._search(cache)
+        warm = self._search(cache)
+        key = lambda r: (r.m_star,  # noqa: E731
+                         [(m, e.successes, e.trials) for m, e in r.evaluations])
+        assert key(off) == key(cold) == key(warm)
+
+    def test_warm_rerun_executes_zero_trials(self, tmp_path):
+        cache = ProbeCache(tmp_path)
+        cold = self._search(cache)
+        before = counters().snapshot()
+        with RunLedger() as ledger:
+            warm = self._search(cache)
+        delta = counters().diff(before)
+        kinds = [event["kind"] for event in ledger.events]
+        assert "batch_dispatch" not in kinds
+        assert delta.get("cache_hit") == len(warm.evaluations)
+        assert "cache_miss" not in delta
+        assert warm.m_star == cold.m_star
+
+    def test_decision_rule_in_key(self, tmp_path):
+        # Probes under different decision rules must not alias: the rule
+        # shapes which m values get probed and what "pass" means.
+        cache = ProbeCache(tmp_path)
+        self._search(cache, decision="point")
+        before = counters().snapshot()
+        self._search(cache, decision="confident_pass")
+        assert counters().diff(before).get("cache_miss", 0) > 0
+
+
+class TestExperimentCheckpoint:
+    def _result(self):
+        from repro.experiments.harness import ExperimentResult
+        from repro.utils.tables import TextTable
+
+        result = ExperimentResult(experiment_id="ET", title="checkpointed")
+        table = TextTable(title="t", columns=["a"])
+        table.add_row([1])
+        result.tables.append(table)
+        result.metrics["x"] = 0.5
+        return result
+
+    def test_save_load_round_trip(self, tmp_path):
+        ckpt = ExperimentCheckpoint(tmp_path)
+        ckpt.save(self._result(), seed=0, scale=0.1)
+        loaded = ckpt.load("ET", seed=0, scale=0.1)
+        assert loaded is not None
+        assert loaded.metrics == {"x": 0.5}
+        assert loaded.tables[0].rows == [["1"]]
+
+    @pytest.mark.parametrize("seed,scale", [(1, 0.1), (0, 0.2)])
+    def test_config_mismatch_reruns(self, tmp_path, seed, scale):
+        ckpt = ExperimentCheckpoint(tmp_path)
+        ckpt.save(self._result(), seed=0, scale=0.1)
+        assert ckpt.load("ET", seed=seed, scale=scale) is None
+
+    def test_corrupt_checkpoint_reruns_not_raises(self, tmp_path):
+        ckpt = ExperimentCheckpoint(tmp_path)
+        ckpt.save(self._result(), seed=0, scale=0.1)
+        ckpt.path_for("ET").write_text("{ corrupt")
+        assert ckpt.load("ET", seed=0, scale=0.1) is None
+
+    def test_bytes_match_save_json(self, tmp_path):
+        result = self._result()
+        ckpt = ExperimentCheckpoint(tmp_path / "c")
+        ckpt.save(result, seed=0, scale=0.1)
+        result.save_json(tmp_path / "direct.json")
+        assert ckpt.raw_bytes("ET") == (tmp_path / "direct.json").read_bytes()
+
+
+class TestCliCacheAndResume:
+    """End-to-end: --cache-dir / --resume through the real CLI.
+
+    Uses E1 at a tiny scale — unlike E5, it runs real ``minimal_m``
+    searches, so the cache actually sees probes.
+    """
+
+    ARGS = ["E1", "--scale", "0.02", "--seed", "3"]
+
+    def _run(self, tmp_path, extra, out):
+        from repro.experiments.__main__ import main
+
+        assert main(self.ARGS + ["--json-dir", str(tmp_path / out)] + extra) == 0
+        return (tmp_path / out / "E1.json").read_bytes()
+
+    def test_cold_warm_resume_byte_identical(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        off = self._run(tmp_path, [], "off")
+        cold = self._run(tmp_path, cache, "cold")
+        warm = self._run(tmp_path, cache, "warm")
+        resumed = self._run(tmp_path, cache + ["--resume"], "resumed")
+        assert off == cold == warm == resumed
+
+    def test_resume_skips_completed_experiment(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        ledger = tmp_path / "resume.jsonl"
+        assert main(self.ARGS + cache) == 0
+        assert main(self.ARGS + cache
+                    + ["--resume", "--ledger", str(ledger)]) == 0
+        events = [json.loads(line) for line in ledger.read_text().splitlines()]
+        kinds = [event["kind"] for event in events]
+        assert "experiment_resumed" in kinds
+        assert "experiment_start" not in kinds  # skipped, not re-run
+
+    def test_interrupted_run_resumes_bit_identical(self, tmp_path, capsys):
+        # Simulate a run killed midway: probes cached, but no checkpoint
+        # written.  --resume then finds no checkpoint, re-runs against the
+        # warm cache, and must produce the uninterrupted run's bytes.
+        from repro.experiments.registry import get_experiment
+
+        cache_dir = tmp_path / "cache"
+        baseline = self._run(tmp_path, [], "base")
+        # Partial warmup: run the experiment against the cache directly
+        # (probes stored) but write no checkpoint — the state a SIGKILL
+        # between probe completion and checkpoint save leaves behind.
+        partial = ProbeCache(cache_dir)
+        get_experiment("E1").run(scale=0.02, rng=3, cache=partial)
+        partial.close()
+        restarted = self._run(
+            tmp_path, ["--cache-dir", str(cache_dir), "--resume"], "rest"
+        )
+        assert restarted == baseline
+
+    def test_resume_without_cache_dir_is_usage_error(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.ARGS + ["--resume"])
+        assert excinfo.value.code == 2
+        assert "--resume requires --cache-dir" in capsys.readouterr().err
+
+    def test_summarize_reports_hit_rate(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+        from repro.observe.summarize import summarize_path
+
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        assert main(self.ARGS + cache) == 0
+        ledger = tmp_path / "warm.jsonl"
+        assert main(self.ARGS + cache + ["--ledger", str(ledger)]) == 0
+        report = summarize_path(ledger)
+        assert "Probe cache" in report
+        assert "100.0%" in report

@@ -51,6 +51,70 @@ class TestFailureEstimate:
         assert a == b
 
 
+class _DrawRecordingInstance(DBeta):
+    """DBeta that records the seed handed to each ``sample_draw`` call."""
+
+    def __init__(self, n, d):
+        super().__init__(n=n, d=d, reps=1)
+        self.seen = []
+
+    def sample_draw(self, rng=None):
+        self.seen.append(rng)
+        return super().sample_draw(rng)
+
+
+class TestDistortionTrialSeedContract:
+    """Pin ``_distortion_trial``'s per-trial child-seed layout.
+
+    The trial always splits its seed into exactly two children and draws
+    the subspace from the second — also with a fixed sketch, where the
+    first child goes unused.  The probe cache's hit-path replay and the
+    fresh/fixed comparability of estimates both rest on this layout, so
+    a refactor that makes the fixed path spawn only one child must fail
+    here rather than silently shift every downstream draw.
+    """
+
+    def _trial(self, fixed):
+        from repro.core.tester import _distortion_trial
+
+        fam = CountSketch(m=64, n=128)
+        inst = _DrawRecordingInstance(n=128, d=3)
+        _distortion_trial(fam, inst, fixed, np.random.SeedSequence(7))
+        assert len(inst.seen) == 1
+        return inst.seen[0]
+
+    def test_fresh_path_draws_from_second_child(self):
+        seed = self._trial(fixed=None)
+        assert seed.spawn_key == (1,)
+
+    def test_fixed_path_consumes_same_seed_layout(self):
+        from repro.sketch.base import sample_sketch
+
+        fixed = sample_sketch(CountSketch(m=64, n=128),
+                              np.random.SeedSequence(0))
+        fresh_seed = self._trial(fixed=None)
+        fixed_seed = self._trial(fixed=fixed)
+        # Same spawn position → same stream: toggling fresh_sketch never
+        # shifts which child feeds the instance draw.
+        assert fixed_seed.spawn_key == fresh_seed.spawn_key == (1,)
+        assert fixed_seed.entropy == fresh_seed.entropy
+
+    def test_fresh_and_fixed_sample_identical_subspaces(self):
+        from repro.core.tester import _distortion_trial
+
+        fam = CountSketch(m=64, n=128)
+        fixed = fam.sample(np.random.SeedSequence(0))
+        draws = []
+        for use_fixed in (False, True):
+            inst = _DrawRecordingInstance(n=128, d=3)
+            _distortion_trial(fam, inst, fixed if use_fixed else None,
+                              np.random.SeedSequence(11))
+            draws.append(inst.seen[0])
+        a = DBeta(n=128, d=3, reps=1).sample_draw(draws[0])
+        b = DBeta(n=128, d=3, reps=1).sample_draw(draws[1])
+        assert np.array_equal(a.u, b.u)
+
+
 class TestDistortionSamples:
     def test_sample_count_and_range(self):
         inst = DBeta(n=256, d=4, reps=1)
@@ -119,7 +183,8 @@ def _stub_threshold_estimate(threshold, trials=20):
     at or above it, with deterministic all-or-nothing counts."""
 
     def fake(family, instance, epsilon, probe_trials, rng=None,
-             fresh_sketch=True, workers=1, chunk_size=None):
+             fresh_sketch=True, workers=1, chunk_size=None,
+             cache=None):
         from repro.utils.stats import BernoulliEstimate
 
         failures = 0 if family.m >= threshold else trials
@@ -195,7 +260,8 @@ class TestMinimalMBracket:
                                           "confident_fail"])
     def test_each_decision_mode_searches(self, monkeypatch, decision):
         def fake(family, instance, epsilon, trials, rng=None,
-                 fresh_sketch=True, workers=1, chunk_size=None):
+                 fresh_sketch=True, workers=1, chunk_size=None,
+                 cache=None):
             from repro.utils.stats import BernoulliEstimate
 
             failures = {1: 50, 2: 15, 3: 12, 4: 8, 5: 8, 6: 5, 7: 2,
@@ -217,7 +283,8 @@ class TestMinimalMBracket:
 
     def test_decision_modes_order_conservatively(self, monkeypatch):
         def fake(family, instance, epsilon, trials, rng=None,
-                 fresh_sketch=True, workers=1, chunk_size=None):
+                 fresh_sketch=True, workers=1, chunk_size=None,
+                 cache=None):
             from repro.utils.stats import BernoulliEstimate
 
             failures = {1: 50, 2: 15, 3: 12, 4: 8, 5: 8, 6: 5, 7: 2,

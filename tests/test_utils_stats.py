@@ -76,6 +76,25 @@ class TestBernoulliEstimate:
         with pytest.raises(TypeError):
             BernoulliEstimate(1, 2).merge(0.5)
 
+    def test_merge_rejects_mismatched_confidence(self):
+        # Regression: merge used to silently keep self.confidence, so
+        # pooling a 0.99-interval estimate into a 0.95 one relabeled the
+        # merged interval without widening it.
+        a = BernoulliEstimate(1, 10, confidence=0.95)
+        b = BernoulliEstimate(2, 20, confidence=0.99)
+        with pytest.raises(ValueError) as excinfo:
+            a.merge(b)
+        assert "confidence" in str(excinfo.value)
+        assert "0.95" in str(excinfo.value)
+        assert "0.99" in str(excinfo.value)
+
+    def test_merge_keeps_shared_confidence(self):
+        merged = BernoulliEstimate(1, 10, confidence=0.99).merge(
+            BernoulliEstimate(2, 20, confidence=0.99)
+        )
+        assert merged.confidence == pytest.approx(0.99)
+        assert (merged.successes, merged.trials) == (3, 30)
+
     def test_invalid_counts(self):
         with pytest.raises(ValueError):
             BernoulliEstimate(5, 2)
