@@ -65,7 +65,8 @@ def _sample_representations(family, count):
     reprs = []
     for seed in np.random.SeedSequence(77).spawn(count):
         kernel = sample_sketch(family, seed, lazy=True).kernel
-        reprs.append((kernel._rows, kernel._values, kernel.shape))
+        arrays = kernel.representation()
+        reprs.append((arrays["rows"], arrays["values"], kernel.shape))
     return reprs
 
 

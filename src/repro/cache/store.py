@@ -28,6 +28,8 @@ import os
 from pathlib import Path
 from typing import IO, Any, Dict, Iterator, List, Optional, Union
 
+from ..utils.serialization import json_default
+
 __all__ = ["JsonlStore"]
 
 
@@ -69,13 +71,24 @@ class JsonlStore:
         return records
 
     def append(self, record: Dict[str, Any]) -> None:
-        """Append one record; a no-op in forked child processes."""
+        """Append one record; a no-op in forked child processes.
+
+        Serialized strictly: numpy scalars/arrays are converted via
+        :func:`repro.utils.serialization.json_default`, and non-finite
+        floats raise ``ValueError`` instead of writing ``NaN``/``Infinity``
+        tokens — those are not JSON, and only Python's lenient parser
+        would ever read the line back (``canonical_json`` already rejects
+        them on the key side).  The line is serialized *before* touching
+        the file, so a rejected record leaves the store unchanged.
+        """
         if os.getpid() != self._pid:
             return
+        line = json.dumps(record, sort_keys=True, allow_nan=False,
+                          default=json_default)
         self._path.parent.mkdir(parents=True, exist_ok=True)
         if self._handle is None:
             self._handle = open(self._path, "a", encoding="utf-8")
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.write(line + "\n")
         self._handle.flush()
 
     def close(self) -> None:

@@ -13,7 +13,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -64,6 +64,51 @@ def _distortion_trial(family: SketchFamily, instance: HardInstance,
     return distortion_of_product(sketch.basis_image(draw))
 
 
+def _batched_trial_chunk(family: SketchFamily, instance: HardInstance,
+                         seeds: Sequence[np.random.SeedSequence]
+                         ) -> List[float]:
+    """One batched chunk: ``len(seeds)`` Monte-Carlo trials in one
+    vectorized call (see :mod:`repro.sketch.batched`).
+
+    Module-level so :class:`TrialExecutor` can pickle it for process-pool
+    workers.  The per-trial seed-stream contract is identical to
+    :func:`_distortion_trial` — each trial's seed splits into exactly
+    ``(sketch_seed, draw_seed) = seed.spawn(2)`` — so the batch engine
+    consumes the same sub-streams the serial loop would.  Families without
+    a batched sampler (``sample_trial_batch`` returns ``None``) fall back
+    to the serial per-trial arithmetic *inside the chunk*, bit-identical
+    to the unbatched path; re-using the already-spawned child seeds is
+    safe because a ``SeedSequence`` yields the same stream every time a
+    generator is built from it.
+    """
+    pairs = [seed.spawn(2) for seed in seeds]
+    batch_kernel = family.sample_trial_batch([pair[0] for pair in pairs])
+    if batch_kernel is None:
+        return [
+            float(distortion_of_product(
+                sample_sketch(family, sketch_seed, lazy=True).basis_image(
+                    instance.sample_draw(draw_seed)
+                )
+            ))
+            for sketch_seed, draw_seed in pairs
+        ]
+    draws = [instance.sample_support(pair[1]) for pair in pairs]
+    return [float(value) for value in batch_kernel.distortions(draws)]
+
+
+def _check_batch(batch: Optional[int], fresh_sketch: bool) -> Optional[int]:
+    """Validate the ``batch`` knob shared by the trial-loop entry points."""
+    if batch is None:
+        return None
+    batch = check_positive_int(batch, "batch")
+    if batch > 1 and not fresh_sketch:
+        raise ValueError(
+            "batch > 1 requires fresh_sketch=True: the batched engine "
+            "samples one sketch per trial"
+        )
+    return batch
+
+
 def _probe_spec(family: SketchFamily, instance: HardInstance,
                 fingerprint: Dict[str, Any], trials: int,
                 **params: Any) -> Dict[str, Any]:
@@ -86,7 +131,8 @@ def failure_estimate(family: SketchFamily, instance: HardInstance,
                      fresh_sketch: bool = True,
                      workers: Optional[int] = 1,
                      chunk_size: Optional[int] = None,
-                     cache: Optional[Any] = None) -> BernoulliEstimate:
+                     cache: Optional[Any] = None,
+                     batch: Optional[int] = None) -> BernoulliEstimate:
     """Estimate ``P[Π is NOT an ε-embedding for U]``.
 
     Each trial draws ``U`` from ``instance`` and (by default) a fresh
@@ -109,9 +155,22 @@ def failure_estimate(family: SketchFamily, instance: HardInstance,
     runs bit-identical to cold and cache-off runs — downstream draws and
     ``count_*`` metrics included.  RNGs without a recorded seed sequence
     are uncacheable and silently bypass the cache.
+
+    ``batch`` switches the trials onto the batched kernel engine
+    (:mod:`repro.sketch.batched`): chunks of ``batch`` trials are sampled,
+    applied, and SVD-reduced in one vectorized call each.  ``None`` or
+    ``1`` keeps the serial per-trial path exactly (so ``batch=1`` is
+    bit-identical to the default).  ``batch > 1`` uses the engine's own
+    canonical accumulation order — deterministic, and bit-identical across
+    serial/parallel and cold/warm-cache runs at a fixed seed, but distinct
+    from the serial stream at the ULP level, which is why the batch size
+    enters the cache key.  Requires ``fresh_sketch=True``; the chunk
+    decomposition is pinned to ``batch`` (``chunk_size`` is ignored).
     """
     epsilon = check_epsilon(epsilon)
     trials = check_positive_int(trials, "trials")
+    batch = _check_batch(batch, fresh_sketch)
+    batched = batch is not None and batch > 1
     if family.n != instance.n:
         raise ValueError(
             f"family ambient dimension ({family.n}) must match instance "
@@ -122,10 +181,17 @@ def failure_estimate(family: SketchFamily, instance: HardInstance,
     if cache is not None:
         fingerprint = seed_fingerprint(gen)
         if fingerprint is not None:
-            spec = _probe_spec(
-                family, instance, fingerprint, trials,
+            params: Dict[str, Any] = dict(
                 epsilon=epsilon, fresh_sketch=fresh_sketch,
             )
+            if batched:
+                # The batched engine owns a different (canonical)
+                # accumulation order, so its results must not alias the
+                # serial path's; batch=1 delegates to the serial path and
+                # shares its entries.
+                params["batch"] = batch
+            spec = _probe_spec(family, instance, fingerprint, trials,
+                               **params)
             hit = cache.get("failure_estimate", spec)
             if hit is not None:
                 # Replay the computation's spawn consumption (one child
@@ -139,13 +205,23 @@ def failure_estimate(family: SketchFamily, instance: HardInstance,
                     float(hit.value["confidence"]),
                 )
     before = counters().snapshot() if spec is not None else {}
-    fixed = None if fresh_sketch \
-        else sample_sketch(family, spawn(gen), lazy=True)
-    executor = TrialExecutor(workers=workers, chunk_size=chunk_size)
-    with trace("failure_estimate", m=family.m, trials=trials):
-        distortions = executor.run(
-            partial(_distortion_trial, family, instance, fixed), trials, gen
-        )
+    if batched:
+        executor = TrialExecutor(workers=workers, chunk_size=batch)
+        with trace("failure_estimate", m=family.m, trials=trials,
+                   batch=batch):
+            distortions = executor.run_chunked(
+                partial(_batched_trial_chunk, family, instance),
+                spawn_seeds(gen, trials),
+            )
+    else:
+        fixed = None if fresh_sketch \
+            else sample_sketch(family, spawn(gen), lazy=True)
+        executor = TrialExecutor(workers=workers, chunk_size=chunk_size)
+        with trace("failure_estimate", m=family.m, trials=trials):
+            distortions = executor.run(
+                partial(_distortion_trial, family, instance, fixed),
+                trials, gen,
+            )
     failures = sum(1 for value in distortions if value > epsilon)
     estimate = BernoulliEstimate(failures, trials)
     if spec is not None:
@@ -165,7 +241,8 @@ def distortion_samples(family: SketchFamily, instance: HardInstance,
                        trials: int, rng: RngLike = None,
                        workers: Optional[int] = 1,
                        chunk_size: Optional[int] = None,
-                       cache: Optional[Any] = None) -> np.ndarray:
+                       cache: Optional[Any] = None,
+                       batch: Optional[int] = None) -> np.ndarray:
     """Sampled distortions (one per trial) — the full failure CDF.
 
     Shares :func:`failure_estimate`'s trial engine and determinism
@@ -173,25 +250,42 @@ def distortion_samples(family: SketchFamily, instance: HardInstance,
     setting at a fixed seed — and, with ``cache`` given, for cold, warm,
     and cache-off runs (the cached array is stored exactly and the RNG
     spawn counter replayed on hits; see :func:`failure_estimate`).
+    ``batch`` selects the batched kernel engine exactly as in
+    :func:`failure_estimate` (``None``/``1`` = serial path, ``> 1`` =
+    vectorized chunks with the batch size in the cache key).
     """
     trials = check_positive_int(trials, "trials")
+    batch = _check_batch(batch, fresh_sketch=True)
+    batched = batch is not None and batch > 1
     gen = as_generator(rng)
     spec = None
     if cache is not None:
         fingerprint = seed_fingerprint(gen)
         if fingerprint is not None:
-            spec = _probe_spec(family, instance, fingerprint, trials)
+            params = {"batch": batch} if batched else {}
+            spec = _probe_spec(family, instance, fingerprint, trials,
+                               **params)
             hit = cache.get("distortion_samples", spec)
             if hit is not None:
                 spawn_seeds(gen, trials)
                 counters().merge(hit.counters)
                 return np.asarray(hit.value["values"], dtype=float)
     before = counters().snapshot() if spec is not None else {}
-    executor = TrialExecutor(workers=workers, chunk_size=chunk_size)
-    with trace("distortion_samples", m=family.m, trials=trials):
-        values = executor.run(
-            partial(_distortion_trial, family, instance, None), trials, gen
-        )
+    if batched:
+        executor = TrialExecutor(workers=workers, chunk_size=batch)
+        with trace("distortion_samples", m=family.m, trials=trials,
+                   batch=batch):
+            values = executor.run_chunked(
+                partial(_batched_trial_chunk, family, instance),
+                spawn_seeds(gen, trials),
+            )
+    else:
+        executor = TrialExecutor(workers=workers, chunk_size=chunk_size)
+        with trace("distortion_samples", m=family.m, trials=trials):
+            values = executor.run(
+                partial(_distortion_trial, family, instance, None),
+                trials, gen,
+            )
     samples = np.asarray(values, dtype=float)
     if spec is not None:
         cache.put(
@@ -247,7 +341,8 @@ def minimal_m(family: SketchFamily, instance: HardInstance, epsilon: float,
               rng: RngLike = None,
               workers: Optional[int] = 1,
               chunk_size: Optional[int] = None,
-              cache: Optional[Any] = None) -> MinimalMResult:
+              cache: Optional[Any] = None,
+              batch: Optional[int] = None) -> MinimalMResult:
     """Search for the minimal ``m`` with failure rate ≤ ``δ``.
 
     Exponential search upward from ``m_min`` (factor ``growth``) until a
@@ -262,9 +357,22 @@ def minimal_m(family: SketchFamily, instance: HardInstance, epsilon: float,
     probe noise at practical ``trials`` swamps finer resolution anyway.
     All probes are recorded for post-hoc inspection.
 
+    Block-structured families round a requested dimension up —
+    ``family.with_m(m).m`` can exceed ``m`` (OSNAP's block variant rounds
+    to a multiple of ``s``; SRHT-style families to a multiple of the block
+    order).  The search therefore records the **effective** dimension
+    everywhere (``evaluations``, ``m_star``, ``probe`` events), probes
+    each effective dimension at most once (distinct requested values that
+    alias to one sketch reuse the recorded estimate without consuming
+    trials or RNG state), and clamps the schedule so no probe's effective
+    dimension exceeds ``m_max``.  When even ``m_min`` rounds past
+    ``m_max`` the search returns ``found=False`` without probing.
+
     ``workers`` parallelizes each probe's trials over a process pool (see
     :func:`failure_estimate`); the probe sequence itself is adaptive and
-    stays serial.
+    stays serial.  ``batch`` switches each probe onto the batched kernel
+    engine, forwarded to :func:`failure_estimate` (and into the probe
+    cache key) only when set.
 
     ``decision`` selects how a probe passes:
 
@@ -299,10 +407,14 @@ def minimal_m(family: SketchFamily, instance: HardInstance, epsilon: float,
         raise ValueError(
             f"decision must be one of {_DECISIONS}, got {decision!r}"
         )
+    batch = _check_batch(batch, fresh_sketch=True)
     gen = as_generator(rng)
     result = MinimalMResult(m_star=None, delta=delta)
     probe_cache = None if cache is None \
         else cache.scoped(search="minimal_m", decision=decision)
+    # Only forward `batch` when set: probes must keep calling any
+    # monkeypatched/stubbed failure_estimate with its historical signature.
+    probe_kwargs: Dict[str, Any] = {} if batch is None else {"batch": batch}
 
     def passes(est: BernoulliEstimate) -> bool:
         if decision == "confident_pass":
@@ -311,20 +423,63 @@ def minimal_m(family: SketchFamily, instance: HardInstance, epsilon: float,
             return est.low <= delta
         return est.point <= delta
 
+    def effective(m: int) -> int:
+        """The dimension actually probed: ``with_m`` may round up."""
+        return family.with_m(m).m
+
+    probed: Dict[int, BernoulliEstimate] = {}
+
     def probe(m: int, phase: str) -> bool:
         started = time.perf_counter()
+        fam = family.with_m(m)
+        known = probed.get(fam.m)
+        if known is not None:
+            # Aliased probe: this requested m rounds to an effective
+            # dimension already measured.  Reuse the estimate — no trials,
+            # no RNG consumption — and record only a ledger event.
+            ok = passes(known)
+            emit_event(
+                "probe", m=fam.m, requested=m, successes=known.successes,
+                trials=known.trials, decision=decision, passed=ok,
+                phase=phase, aliased=True,
+                elapsed=time.perf_counter() - started,
+            )
+            return ok
         est = failure_estimate(
-            family.with_m(m), instance, epsilon, trials, spawn(gen),
+            fam, instance, epsilon, trials, spawn(gen),
             workers=workers, chunk_size=chunk_size, cache=probe_cache,
+            **probe_kwargs,
         )
-        result.evaluations.append((m, est))
+        probed[fam.m] = est
+        result.evaluations.append((fam.m, est))
         ok = passes(est)
         emit_event(
-            "probe", m=m, successes=est.successes, trials=est.trials,
-            decision=decision, passed=ok, phase=phase,
-            elapsed=time.perf_counter() - started,
+            "probe", m=fam.m, requested=m, successes=est.successes,
+            trials=est.trials, decision=decision, passed=ok, phase=phase,
+            aliased=False, elapsed=time.perf_counter() - started,
         )
         return ok
+
+    # Clamp the schedule so rounding can never push a probe's effective
+    # dimension past m_max: m_cap is the largest requested value whose
+    # rounded dimension still fits (with_m is monotone nondecreasing).
+    if effective(m_min) > m_max:
+        emit_event(
+            "minimal_m_start", m_min=m_min, m_max=m_max, growth=growth,
+            decision=decision, epsilon=epsilon, delta=delta, trials=trials,
+        )
+        emit_event(
+            "minimal_m_end", m_star=None, found=False, probes=0, elapsed=0.0,
+        )
+        return result
+    lo_cap, hi_cap = m_min, m_max
+    while lo_cap < hi_cap:
+        mid_cap = (lo_cap + hi_cap + 1) // 2
+        if effective(mid_cap) <= m_max:
+            lo_cap = mid_cap
+        else:
+            hi_cap = mid_cap - 1
+    m_cap = lo_cap
 
     search_started = time.perf_counter()
     emit_event(
@@ -332,8 +487,9 @@ def minimal_m(family: SketchFamily, instance: HardInstance, epsilon: float,
         decision=decision, epsilon=epsilon, delta=delta, trials=trials,
     )
     try:
-        # Exponential phase; the final probe is clamped to m_max so the
-        # geometric schedule can never skip past it unprobed.
+        # Exponential phase; the final probe is clamped to m_cap so the
+        # geometric schedule can never skip past it unprobed, nor round
+        # past m_max.
         m = m_min
         last_fail = None
         first_pass = None
@@ -342,14 +498,14 @@ def minimal_m(family: SketchFamily, instance: HardInstance, epsilon: float,
                 first_pass = m
                 break
             last_fail = m
-            if m >= m_max:
+            if m >= m_cap:
                 break
-            m = min(max(int(np.ceil(m * growth)), m + 1), m_max)
+            m = min(max(int(np.ceil(m * growth)), m + 1), m_cap)
         if first_pass is None:
             return result
         if last_fail is None:
             # Passed already at m_min — it is the minimum within search range.
-            result.m_star = first_pass
+            result.m_star = effective(first_pass)
             return result
 
         # Bisection phase between last_fail (fails) and first_pass (passes).
@@ -360,7 +516,7 @@ def minimal_m(family: SketchFamily, instance: HardInstance, epsilon: float,
                 hi = mid
             else:
                 lo = mid
-        result.m_star = hi
+        result.m_star = effective(hi)
         return result
     finally:
         emit_event(

@@ -25,7 +25,25 @@ import numpy as np
 from ..utils.rng import RngLike, as_generator
 from ..utils.validation import check_positive_int
 
-__all__ = ["HardInstance", "HardDraw", "DBeta"]
+__all__ = ["HardInstance", "HardDraw", "SupportDraw", "DBeta",
+           "assemble_basis"]
+
+
+def assemble_basis(n: int, d: int, rows: np.ndarray,
+                   signs: np.ndarray, reps: int) -> np.ndarray:
+    """Build ``U = VW`` directly from the support and signs.
+
+    Equivalent to ``V @ W`` but linear-time: column ``i`` receives
+    ``signs[j]/√reps`` at row ``rows[j]`` for each ``j`` in block ``i``.
+    Coinciding rows within a block accumulate, matching ``U = VW``.
+    Shared by the eager draw path and :class:`SupportDraw`'s lazy
+    assembly so both produce bit-identical matrices.
+    """
+    u = np.zeros((n, d))
+    scale = 1.0 / np.sqrt(reps)
+    cols = np.repeat(np.arange(d), reps)
+    np.add.at(u, (rows, cols), signs * scale)
+    return u
 
 
 @dataclass(frozen=True)
@@ -120,6 +138,66 @@ class HardDraw:
         return scaled.reshape(m, self.d, self.reps).sum(axis=2)
 
 
+class SupportDraw:
+    """A structured ``D_β`` draw that materializes ``u`` only on demand.
+
+    Duck-type compatible with :class:`HardDraw` (``rows``/``signs``/
+    ``reps``/``structured`` plus the sketched-basis arithmetic), but the
+    ``n × d`` matrix — the one allocation a structured trial never needs —
+    is assembled lazily on first access to :attr:`u`.  The batched trial
+    engine samples these so a chunk of ``B`` draws costs ``B`` small index
+    arrays instead of ``B`` dense matrices.
+
+    Assembling on access uses :func:`assemble_basis`, so a ``SupportDraw``
+    and a :class:`HardDraw` from the same stream hold bit-identical
+    matrices.
+    """
+
+    #: Same flag :class:`HardDraw` carries: ``u`` is fully determined by
+    #: ``rows``/``signs``/``reps``, enabling the fast sketched-basis path.
+    structured = True
+
+    def __init__(self, n: int, d: int, rows: np.ndarray, signs: np.ndarray,
+                 reps: int, component: Optional[str] = None) -> None:
+        self._n = int(n)
+        self._d = int(d)
+        self.rows = rows
+        self.signs = signs
+        self.reps = int(reps)
+        self.component = component
+        self._u: Optional[np.ndarray] = None
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def d(self) -> int:
+        return self._d
+
+    @property
+    def beta(self) -> float:
+        """The distribution parameter ``β = 1/reps``."""
+        return 1.0 / self.reps
+
+    @property
+    def u(self) -> np.ndarray:
+        """The ``n × d`` matrix ``U = VW``, assembled on first access."""
+        if self._u is None:
+            self._u = assemble_basis(
+                self._n, self._d, self.rows, self.signs, self.reps
+            )
+        return self._u
+
+    # The pinned sketched-basis arithmetic is shared with HardDraw by
+    # reusing its (plain-function) methods: they only touch the duck
+    # interface above, and sharing rules out bit-level divergence.
+    v_matrix = HardDraw.v_matrix
+    w_matrix = HardDraw.w_matrix
+    sketched_basis = HardDraw.sketched_basis
+    combine_sketched_columns = HardDraw.combine_sketched_columns
+
+
 class HardInstance(abc.ABC):
     """A distribution over ``n × d`` test matrices (hard instances)."""
 
@@ -152,6 +230,18 @@ class HardInstance(abc.ABC):
     @abc.abstractmethod
     def sample_draw(self, rng: RngLike = None) -> HardDraw:
         """Draw a matrix together with its generating randomness."""
+
+    def sample_support(self, rng: RngLike = None):
+        """Draw only the generating randomness, deferring ``u`` if possible.
+
+        Consumes **exactly** the same random variates as
+        :meth:`sample_draw` at the same stream (matrix assembly never
+        draws randomness), so the two are interchangeable seed-for-seed.
+        Structured instances override to return a :class:`SupportDraw`
+        that skips the dense ``n × d`` allocation; this default simply
+        falls back to the full draw.
+        """
+        return self.sample_draw(rng)
 
     def sample(self, rng: RngLike = None) -> np.ndarray:
         """Draw just the ``n × d`` matrix ``U``."""
@@ -224,25 +314,31 @@ class DBeta(HardInstance):
 
     def sample_draw(self, rng: RngLike = None) -> HardDraw:
         gen = as_generator(rng)
+        rows, signs = self._sample_support_arrays(gen)
+        u = self._assemble(rows, signs)
+        return HardDraw(u=u, rows=rows, signs=signs, reps=self._reps,
+                        component=self.name)
+
+    def sample_support(self, rng: RngLike = None) -> SupportDraw:
+        """Structured draw without the dense ``U`` (see :class:`SupportDraw`).
+
+        Identical RNG consumption to :meth:`sample_draw`; only the eager
+        matrix assembly (which consumes no randomness) is skipped.
+        """
+        gen = as_generator(rng)
+        rows, signs = self._sample_support_arrays(gen)
+        return SupportDraw(n=self._n, d=self._d, rows=rows, signs=signs,
+                           reps=self._reps, component=self.name)
+
+    def _sample_support_arrays(self, gen: np.random.Generator):
         count = self._reps * self._d
         if self._distinct_rows:
             rows = gen.choice(self._n, size=count, replace=False)
         else:
             rows = gen.integers(0, self._n, size=count)
         signs = gen.choice((-1.0, 1.0), size=count)
-        u = self._assemble(rows, signs)
-        return HardDraw(u=u, rows=rows, signs=signs, reps=self._reps,
-                        component=self.name)
+        return rows, signs
 
     def _assemble(self, rows: np.ndarray, signs: np.ndarray) -> np.ndarray:
-        """Build ``U`` directly from the support and signs.
-
-        Equivalent to ``V @ W`` but linear-time: column ``i`` receives
-        ``signs[j]/√reps`` at row ``rows[j]`` for each ``j`` in block ``i``.
-        Coinciding rows within a block accumulate, matching ``U = VW``.
-        """
-        u = np.zeros((self._n, self._d))
-        scale = 1.0 / np.sqrt(self._reps)
-        cols = np.repeat(np.arange(self._d), self._reps)
-        np.add.at(u, (rows, cols), signs * scale)
-        return u
+        """Build ``U`` from the support (see :func:`assemble_basis`)."""
+        return assemble_basis(self._n, self._d, rows, signs, self._reps)

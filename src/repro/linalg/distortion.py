@@ -14,7 +14,7 @@ lower-bound certification code.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple, Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -28,6 +28,7 @@ __all__ = [
     "singular_interval_of_product",
     "distortion",
     "distortion_of_product",
+    "distortions_of_products",
     "distortion_report",
     "is_subspace_embedding_for",
     "worst_vector",
@@ -88,6 +89,74 @@ def distortion_of_product(product: np.ndarray) -> float:
     """Worst distortion from an already-computed ``ΠU``."""
     lo, hi = singular_interval_of_product(product)
     return max(1.0 - lo, hi - 1.0)
+
+
+#: A trial's Gram spectrum is trusted only while ``σ²_min/σ²_max`` stays
+#: above this; below it the squared form has lost too many digits (error
+#: in ``σ_min`` approaches ``√ε_mach · σ_max ≈ 1e-8``) and the trial is
+#: recomputed from the rectangular product directly.
+_GRAM_RATIO_FLOOR = 1e-12
+
+
+def distortions_of_products(products: np.ndarray,
+                            rows: Optional[int] = None) -> np.ndarray:
+    """Per-draw distortions for a stack of products ``(B, k, d)``.
+
+    One gufunc-batched SVD over the whole stack — the reduction step of
+    the batched trial engine (:mod:`repro.sketch.batched`).  ``products``
+    may hold *row-compacted* sketched bases: zero rows of ``ΠU`` change no
+    singular value, so the engine drops them (padding back to a common
+    ``k``) before stacking.  ``rows`` is the true row count ``m`` of the
+    uncompacted products; it decides the annihilation rule — when
+    ``m < d`` (or the compacted ``k < d``), a whole direction is lost and
+    ``σ_min`` is exactly 0, mirroring
+    :func:`singular_interval_of_product`.
+
+    The SVD runs on the ``d × d`` Gram matrices ``(ΠU)ᵀ(ΠU)`` rather than
+    the ``k × d`` products — for ``k ≫ d`` the BLAS Gram build plus a
+    small-matrix SVD is several times cheaper than a rectangular SVD, and
+    the singular values of the (symmetric PSD) Gram matrix are exactly
+    the squared singular values of ``ΠU``.  Squaring halves the working
+    precision near rank deficiency, so any trial whose squared spectrum
+    spans more than :data:`_GRAM_RATIO_FLOOR` is recomputed from its
+    rectangular product; in Monte-Carlo runs those are the rare
+    annihilation events, so the fallback stays off the hot path.
+    """
+    products = np.asarray(products, dtype=float)
+    if products.ndim != 3:
+        raise ValueError(
+            f"products must be a (B, k, d) stack, got ndim={products.ndim}"
+        )
+    batch, k, d = products.shape
+    if k == 0 or d == 0:
+        raise ValueError("empty product matrices")
+    true_rows = k if rows is None else int(rows)
+    if k <= 2 * d:
+        # Near-square products: the Gram detour saves nothing (the SVD it
+        # avoids is already d-sized), so take the rectangular SVD directly
+        # at full precision.
+        sigma = np.linalg.svd(products, compute_uv=False)
+        hi = sigma.max(axis=1)
+        if true_rows >= d and k >= d:
+            lo = sigma.min(axis=1)
+        else:
+            lo = np.zeros(batch)
+        return np.maximum(1.0 - lo, hi - 1.0)
+    gram = np.matmul(np.swapaxes(products, -1, -2), products)
+    sigma_sq = np.linalg.svd(gram, compute_uv=False)
+    hi_sq = sigma_sq.max(axis=1)
+    hi = np.sqrt(hi_sq)
+    if true_rows >= d and k >= d:
+        lo_sq = sigma_sq.min(axis=1)
+        lo = np.sqrt(lo_sq)
+        suspect = np.flatnonzero(lo_sq <= _GRAM_RATIO_FLOOR * hi_sq)
+        for index in suspect:
+            exact = np.linalg.svd(products[index], compute_uv=False)
+            lo[index] = exact.min()
+            hi[index] = exact.max()
+    else:
+        lo = np.zeros(batch)
+    return np.maximum(1.0 - lo, hi - 1.0)
 
 
 @dataclass(frozen=True)

@@ -132,7 +132,11 @@ class RunLedger:
         if self._keep:
             self._events.append(event)
         if self._path is not None:
-            self._buffer.append(json.dumps(event, default=_json_default))
+            # allow_nan=False: a non-finite field would otherwise write a
+            # nonstandard NaN/Infinity token that only Python's lenient
+            # parser reads back — fail at the emit site instead.
+            self._buffer.append(json.dumps(event, allow_nan=False,
+                                           default=_json_default))
             if len(self._buffer) >= self._buffer_lines:
                 self.flush()
         if self._progress:

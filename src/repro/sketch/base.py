@@ -19,7 +19,8 @@ side) actually asks for :attr:`Sketch.matrix`.
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import (TYPE_CHECKING, Any, Dict, Optional, Sequence, Tuple,
+                    Union)
 
 import numpy as np
 import scipy.sparse as sp
@@ -31,6 +32,9 @@ from ..utils.rng import RngLike
 from ..utils.serialization import to_builtin
 from ..utils.validation import check_positive_int
 from .kernels import ApplyKernel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .batched import BatchedTrialKernel
 
 __all__ = ["Sketch", "SketchFamily", "sample_sketch"]
 
@@ -230,6 +234,23 @@ class SketchFamily(abc.ABC):
         either way, so lazy and eager draws at the same seed hold the same
         matrix.  Families without a kernel ignore the flag.
         """
+
+    def sample_trial_batch(
+        self, seeds: Sequence[np.random.SeedSequence],
+    ) -> Optional["BatchedTrialKernel"]:
+        """Sample ``len(seeds)`` sketches as one batched trial kernel.
+
+        ``seeds[i]`` is trial ``i``'s spawned ``SeedSequence``; the batch
+        consumes each sub-stream exactly as ``sample(seeds[i], lazy=True)``
+        would, so ``trial_kernel(i)`` matches the serial draw.  The default
+        stacks per-trial kernels (vectorizing only the reduction);
+        structured families override with fully vectorized samplers.
+        Returns ``None`` when the family has no kernel path — callers then
+        fall back to the serial per-trial loop, re-using the same seeds.
+        """
+        from .batched import stacked_from_family
+
+        return stacked_from_family(self, list(seeds))
 
     def spec(self) -> Dict[str, Any]:
         """Canonical JSON-able description of this family.

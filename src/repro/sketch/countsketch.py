@@ -10,13 +10,16 @@ and E2 measure the empirical threshold and its scaling exponents.
 from __future__ import annotations
 
 import math
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..linalg.sparse_ops import from_triplets
+from ..observe.counters import add_count
 from ..utils.rng import RngLike, as_generator
 from ..utils.validation import check_epsilon, check_probability
 from .base import Sketch, SketchFamily
+from .batched import BatchedColumnScatter
 from .kernels import ColumnScatterKernel
 
 __all__ = ["CountSketch"]
@@ -54,6 +57,24 @@ class CountSketch(SketchFamily):
             cols = np.arange(self.n)
             matrix = from_triplets(rows, cols, signs, (self.m, self.n))
         return Sketch(matrix, family=self, kernel=kernel)
+
+    def sample_trial_batch(
+        self, seeds: Sequence[np.random.SeedSequence],
+    ) -> Optional[BatchedColumnScatter]:
+        """Per-trial ``(1, n)`` hash rows and signs, one sub-stream per
+        trial — each entry consumes its seed exactly like :meth:`sample`.
+        The RNG outputs are handed to the batch kernel as-is (reshaped
+        views, never copied into a stacked buffer)."""
+        if not seeds:
+            return None
+        rows = []
+        signs = []
+        for seed in seeds:
+            gen = as_generator(seed)
+            rows.append(gen.integers(0, self.m, size=self.n)[np.newaxis, :])
+            signs.append(gen.choice((-1.0, 1.0), size=self.n)[np.newaxis, :])
+        add_count("sketch_samples", len(seeds))
+        return BatchedColumnScatter(rows, signs, 1.0, (self.m, self.n))
 
     @staticmethod
     def recommended_m(d: int, epsilon: float, delta: float,

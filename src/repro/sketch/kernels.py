@@ -28,7 +28,7 @@ memory layouts and hard-instance draws.
 from __future__ import annotations
 
 import abc
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -108,6 +108,19 @@ class ApplyKernel(abc.ABC):
     def column_gather(self, idx: Any) -> np.ndarray:
         """Dense ``Π[:, idx]``, exactly as ``csc[:, idx].toarray()``."""
 
+    @abc.abstractmethod
+    def representation(self) -> Dict[str, np.ndarray]:
+        """The index/value arrays defining ``Π``, keyed by role.
+
+        The public accessor for the sampled representation — what the
+        batched trial engine stacks across draws and what benchmarks
+        introspect, without reaching into private attributes.  Keys by
+        kernel type: ``{"rows", "values"}`` for column scatters,
+        ``{"cols", "values"}`` for row gathers, and
+        ``{"rows", "cols", "values"}`` for triplet kernels.  The arrays
+        are the kernel's own (not copies); treat them as read-only.
+        """
+
     def materialize(self) -> sp.csc_matrix:
         """The explicit matrix (cached after the first call)."""
         if self._csc is None:
@@ -175,6 +188,9 @@ class ColumnScatterKernel(ApplyKernel):
     def s(self) -> int:
         """Exact column sparsity."""
         return self._s
+
+    def representation(self) -> Dict[str, np.ndarray]:
+        return {"rows": self._rows, "values": self._values}
 
     def apply(self, a: np.ndarray) -> np.ndarray:
         a = np.asarray(a)
@@ -276,6 +292,9 @@ class RowGatherKernel(ApplyKernel):
         self._cols = cols
         self._values = values
 
+    def representation(self) -> Dict[str, np.ndarray]:
+        return {"cols": self._cols, "values": self._values}
+
     def apply(self, a: np.ndarray) -> np.ndarray:
         af = _as_float64(a)
         if af.ndim == 1:
@@ -343,6 +362,10 @@ class CooScatterKernel(ApplyKernel):
         values = np.asarray(values, dtype=np.float64)
         order = np.argsort(cols.astype(np.int64) * shape[0] + rows)
         return cls(rows[order], cols[order], values[order], shape)
+
+    def representation(self) -> Dict[str, np.ndarray]:
+        return {"rows": self._rows, "cols": self._cols,
+                "values": self._values}
 
     def apply(self, a: np.ndarray) -> np.ndarray:
         a = np.asarray(a)

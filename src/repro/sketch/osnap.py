@@ -19,10 +19,12 @@ experiment E9 sweeps ``s`` and measures the trade-off.
 from __future__ import annotations
 
 import math
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..linalg.sparse_ops import from_triplets
+from ..observe.counters import add_count
 from ..utils.rng import RngLike, as_generator
 from ..utils.validation import (
     check_epsilon,
@@ -30,6 +32,7 @@ from ..utils.validation import (
     check_probability,
 )
 from .base import Sketch, SketchFamily
+from .batched import BatchedColumnScatter
 from .kernels import ColumnScatterKernel
 
 __all__ = ["OSNAP"]
@@ -133,6 +136,73 @@ class OSNAP(SketchFamily):
                 values.ravel(), (m, n)
             )
         return Sketch(matrix, family=self, kernel=kernel)
+
+    def sample_trial_batch(
+        self, seeds: Sequence[np.random.SeedSequence],
+    ) -> Optional[BatchedColumnScatter]:
+        """Per-trial ``(s, n)`` rows and signs, one sub-stream per trial.
+
+        Each entry consumes its seed exactly like :meth:`sample`, but the
+        rows stay in drawn order — the canonical per-column sort (the most
+        expensive part of the serial sampler) is skipped, because the
+        batched scatter does not need it and
+        :meth:`BatchedColumnScatter.trial_kernel` can replay it on demand.
+        The RNG outputs are handed to the batch kernel as-is, never copied
+        into a stacked buffer.
+        """
+        if not seeds:
+            return None
+        s, m, n = self._s, self.m, self.n
+        rows = []
+        signs = []
+        block = m // s if self._variant == "block" else 0
+        offsets = (np.arange(s) * block)[:, None]
+        for seed in seeds:
+            gen = as_generator(seed)
+            if self._variant == "uniform":
+                rows.append(self._distinct_rows_unsorted(gen, s, m, n))
+            else:
+                rows.append(offsets + gen.integers(0, block, size=(s, n)))
+            signs.append(gen.choice((-1.0, 1.0), size=(s, n)))
+        add_count("sketch_samples", len(seeds))
+        return BatchedColumnScatter(rows, signs, 1.0 / math.sqrt(s), (m, n))
+
+    @staticmethod
+    def _distinct_rows_unsorted(gen: np.random.Generator, s: int,
+                                m: int, n: int) -> np.ndarray:
+        """Stream-identical to :meth:`_sample_rows_without_replacement`.
+
+        Consumes the same variates and rejection-resamples the same
+        columns (a column has a duplicate iff some unordered pair of its
+        rows coincides, however it is detected), but finds the duplicates
+        by pairwise comparison instead of a per-column sort — cheaper for
+        the small ``s`` of interest, and the batched scatter never needs
+        the sorted order.  After the first round only the just-resampled
+        columns are re-checked: untouched columns are already
+        duplicate-free, so the surviving bad sets (and hence the variates
+        drawn for them) match the serial sampler's full-width re-scan
+        exactly.
+        """
+        if s == 1:
+            return gen.integers(0, m, size=(1, n))
+        if 2 * s > m:
+            # Dense regime: random permutation per column, keep s rows.
+            return np.argsort(gen.random((m, n)), axis=0)[:s]
+        rows = gen.integers(0, m, size=(s, n))
+        active: Optional[np.ndarray] = None
+        draw = rows
+        while True:
+            duplicated = np.zeros(draw.shape[1], dtype=bool)
+            for i in range(s - 1):
+                for j in range(i + 1, s):
+                    duplicated |= draw[i] == draw[j]
+            hit = np.flatnonzero(duplicated)
+            if hit.size == 0:
+                return rows
+            bad = hit if active is None else active[hit]
+            draw = gen.integers(0, m, size=(s, bad.size))
+            rows[:, bad] = draw
+            active = bad
 
     @staticmethod
     def _sample_rows_without_replacement(gen: np.random.Generator, s: int,

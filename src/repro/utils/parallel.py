@@ -45,6 +45,12 @@ __all__ = [
 #: returns any picklable result.
 TrialFn = Callable[[np.random.SeedSequence], Any]
 
+#: A chunk-level computation: receives a whole chunk of per-trial seed
+#: sequences at once and returns one result per seed, in order.  Used by
+#: the batched trial engine, where a chunk is processed in one vectorized
+#: call instead of a per-seed loop.
+ChunkFn = Callable[[Sequence[np.random.SeedSequence]], list]
+
 
 def resolve_workers(workers: Optional[int]) -> int:
     """Normalize a ``workers`` knob: ``None``/``0`` means all CPUs."""
@@ -67,6 +73,30 @@ class _ChunkOutcome(NamedTuple):
     elapsed: float
     counter_delta: Dict[str, int]
     results: list
+
+
+def _run_chunk_call_observed(fn: ChunkFn,
+                             seeds: Sequence[np.random.SeedSequence]
+                             ) -> _ChunkOutcome:
+    """Run one chunk through a chunk-level ``fn``, with observability.
+
+    The chunk-function analogue of :func:`_run_chunk_observed`: same
+    counter-delta and timing capture, but ``fn`` sees the whole seed list
+    in one call (and must return one result per seed, in order).
+    """
+    before = counters().snapshot()
+    started = time.perf_counter()
+    results = list(fn(seeds))
+    if len(results) != len(seeds):
+        raise ValueError(
+            f"chunk function returned {len(results)} results for "
+            f"{len(seeds)} seeds"
+        )
+    counters().increment("trials", len(results))
+    elapsed = time.perf_counter() - started
+    return _ChunkOutcome(
+        os.getpid(), elapsed, counters().diff(before), results
+    )
 
 
 def _run_chunk_observed(fn: TrialFn,
@@ -156,6 +186,51 @@ class TrialExecutor:
                 self._record(outcome, batch=index, span=spans[index])
                 results.extend(outcome.results)
         return results
+
+    def run_chunked(self, fn: ChunkFn,
+                    seeds: Sequence[np.random.SeedSequence]) -> list:
+        """Run a chunk-level ``fn`` over the seeds, in seed order.
+
+        Splits the seeds into the same chunks :meth:`run_seeded` would
+        dispatch, but hands each chunk to ``fn`` *whole* — the batched
+        trial engine processes it in one vectorized call.  Serial and
+        parallel execution use the identical chunk decomposition, so a
+        chunk function whose output depends on chunk composition (batched
+        kernels pad data-dependently within a chunk) is still bit-identical
+        across ``workers`` settings **provided ``chunk_size`` is pinned**;
+        with ``chunk_size=None`` the heuristic chunking depends on the
+        worker count, and only per-trial-independent chunk functions are
+        reproducible across configurations.
+        """
+        seeds = list(seeds)
+        workers = resolve_workers(self.workers)
+        chunks = self._chunked(seeds, workers)
+        spans, start = [], 0
+        for chunk in chunks:
+            spans.append((start, start + len(chunk)))
+            start += len(chunk)
+        if workers <= 1 or len(chunks) <= 1:
+            emit_event("batch_dispatch", batches=len(chunks),
+                       trials=len(seeds), parallel=False)
+            results: list = []
+            for index, chunk in enumerate(chunks):
+                outcome = _run_chunk_call_observed(fn, chunk)
+                self._record(outcome, batch=index, span=spans[index])
+                results.extend(outcome.results)
+            return results
+        emit_event("batch_dispatch", batches=len(chunks),
+                   trials=len(seeds), parallel=True)
+        gathered: list = []
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(workers, len(chunks))
+        ) as pool:
+            batched = pool.map(
+                _run_chunk_call_observed, [fn] * len(chunks), chunks
+            )
+            for index, outcome in enumerate(batched):
+                self._record(outcome, batch=index, span=spans[index])
+                gathered.extend(outcome.results)
+        return gathered
 
     @staticmethod
     def _record(outcome: _ChunkOutcome, batch: int,

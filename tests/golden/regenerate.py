@@ -26,8 +26,12 @@ from repro.sketch import (
 )
 
 GOLDEN_PATH = Path(__file__).with_name("distortion_streams.json")
+BATCHED_PATH = Path(__file__).with_name("batched_streams.json")
 GOLDEN_SEED = 20220620  # PODS'22 vintage
 GOLDEN_TRIALS = 24
+#: Batch size for the batched-engine pins; deliberately not a divisor of
+#: GOLDEN_TRIALS so the trailing partial chunk stays covered.
+GOLDEN_BATCH = 5
 
 _N = 192
 
@@ -56,12 +60,18 @@ def main():
     from repro.core.tester import distortion_samples
 
     streams = {}
+    batched = {}
     for name, family, instance in cases():
         values = distortion_samples(
             family, instance, trials=GOLDEN_TRIALS,
             rng=np.random.SeedSequence(GOLDEN_SEED),
         )
         streams[name] = [float(v) for v in values]
+        values = distortion_samples(
+            family, instance, trials=GOLDEN_TRIALS,
+            rng=np.random.SeedSequence(GOLDEN_SEED), batch=GOLDEN_BATCH,
+        )
+        batched[name] = [float(v) for v in values]
     payload = {
         "seed": GOLDEN_SEED,
         "trials": GOLDEN_TRIALS,
@@ -69,6 +79,14 @@ def main():
     }
     GOLDEN_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {GOLDEN_PATH} ({len(streams)} streams)")
+    payload = {
+        "seed": GOLDEN_SEED,
+        "trials": GOLDEN_TRIALS,
+        "batch": GOLDEN_BATCH,
+        "streams": batched,
+    }
+    BATCHED_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {BATCHED_PATH} ({len(batched)} streams)")
 
 
 if __name__ == "__main__":

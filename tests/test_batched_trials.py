@@ -1,0 +1,439 @@
+"""Regression suite for the batched trial engine.
+
+The contracts under test (see :mod:`repro.sketch.batched` and the
+``batch`` knob in :mod:`repro.core.tester`):
+
+* ``batch=1`` (and ``batch=None``) delegate to the serial per-trial path
+  **bit for bit** — no array may differ in a single ULP;
+* ``batch > 1`` owns a canonical accumulation order: its values agree
+  with the serial stream to tight relative tolerance, and are themselves
+  bit-identical across serial/parallel execution and cold/warm cache;
+* per-trial reconstruction (``trial_kernel``, compacted products) matches
+  the serial samplers exactly, because the batched samplers consume the
+  same per-trial sub-streams;
+* ``minimal_m`` records *effective* dimensions for block-structured
+  families — each probed at most once, never past ``m_max``.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.tester as tester
+from repro.core.tester import (
+    distortion_samples,
+    failure_estimate,
+    minimal_m,
+)
+from repro.hardinstances.dbeta import DBeta
+from repro.hardinstances.mixtures import MixtureInstance
+from repro.sketch import (
+    OSNAP,
+    CountSketch,
+    GaussianSketch,
+    LeverageSampling,
+    RowSampling,
+    SparseJL,
+    sample_sketch,
+)
+from repro.sketch.batched import (
+    BatchedColumnScatter,
+    BatchedRowGather,
+    StackedKernelBatch,
+)
+from repro.sketch.hadamard_block import HadamardBlockSketch
+from repro.utils.stats import BernoulliEstimate
+
+pytestmark = pytest.mark.kernels
+
+N = 192
+M = 96
+TRIALS = 12
+SEED = 20220620
+
+
+def _leverage_family(m=M, n=N):
+    gen = np.random.default_rng(2024)
+    p = gen.random(n)
+    p /= p.sum()
+    return LeverageSampling(m, n, probabilities=p)
+
+
+#: (family factory, instance) pairs covering every batched-sampler code
+#: path: both column-scatter layouts, both row-gather layouts, the
+#: stacked-kernel fallback (sparse-JL) and the kernel-less serial
+#: fallback (Gaussian).
+CASES = [
+    pytest.param(lambda: CountSketch(M, N), 1, id="countsketch"),
+    pytest.param(lambda: OSNAP(M, N, s=4), 2, id="osnap-uniform"),
+    pytest.param(lambda: OSNAP(M, N, s=4, variant="block"), 2,
+                 id="osnap-block"),
+    pytest.param(lambda: RowSampling(M, N), 1, id="rowsampling"),
+    pytest.param(_leverage_family, 2, id="leverage"),
+    pytest.param(lambda: SparseJL(M, N, q=0.05), 1, id="sparsejl"),
+    pytest.param(lambda: GaussianSketch(48, N), 1, id="gaussian"),
+]
+
+
+def _serial_and_batched(family, instance, batch, trials=TRIALS, seed=SEED):
+    serial = distortion_samples(
+        family, instance, trials=trials, rng=np.random.SeedSequence(seed)
+    )
+    batched = distortion_samples(
+        family, instance, trials=trials, rng=np.random.SeedSequence(seed),
+        batch=batch,
+    )
+    return serial, batched
+
+
+class TestBatchDelegation:
+    """batch in {None, 1} must be the serial path, bit for bit."""
+
+    @pytest.mark.parametrize("make_family,reps", CASES)
+    def test_batch_one_is_bit_identical(self, make_family, reps):
+        instance = DBeta(N, 6, reps=reps)
+        serial, batched = _serial_and_batched(make_family(), instance, 1)
+        assert np.array_equal(serial, batched)
+
+    @pytest.mark.parametrize("make_family,reps", CASES)
+    def test_batch_matches_serial_to_tolerance(self, make_family, reps):
+        instance = DBeta(N, 6, reps=reps)
+        serial, batched = _serial_and_batched(make_family(), instance, 4)
+        np.testing.assert_allclose(batched, serial, rtol=1e-9, atol=1e-12)
+
+    def test_kernel_less_fallback_is_bit_identical(self):
+        # Gaussian sketches carry no kernel, so even batch > 1 must fall
+        # back to the exact serial arithmetic inside the chunk.
+        instance = DBeta(N, 6, reps=1)
+        serial, batched = _serial_and_batched(
+            GaussianSketch(48, N), instance, 4
+        )
+        assert np.array_equal(serial, batched)
+
+    def test_failure_counts_agree(self):
+        family = OSNAP(M, N, s=4)
+        instance = DBeta(N, 6, reps=2)
+        serial = failure_estimate(
+            family, instance, epsilon=0.6, trials=24,
+            rng=np.random.SeedSequence(SEED),
+        )
+        batched = failure_estimate(
+            family, instance, epsilon=0.6, trials=24,
+            rng=np.random.SeedSequence(SEED), batch=8,
+        )
+        assert (serial.successes, serial.trials) \
+            == (batched.successes, batched.trials)
+
+    def test_mixture_mixed_reps_groups(self):
+        mixture = MixtureInstance(
+            [DBeta(N, 6, reps=1), DBeta(N, 6, reps=2)], weights=[0.5, 0.5]
+        )
+        serial, batched = _serial_and_batched(
+            OSNAP(M, N, s=4), mixture, 4, trials=TRIALS
+        )
+        np.testing.assert_allclose(batched, serial, rtol=1e-9, atol=1e-12)
+
+    def test_trailing_partial_chunk(self):
+        # trials not divisible by batch: the last chunk is smaller and
+        # must still line up trial for trial.
+        instance = DBeta(N, 6, reps=2)
+        serial, batched = _serial_and_batched(
+            OSNAP(M, N, s=4), instance, 5, trials=13
+        )
+        np.testing.assert_allclose(batched, serial, rtol=1e-9, atol=1e-12)
+
+
+class TestBatchDeterminism:
+    """batch > 1 results are canonical: execution layout never matters."""
+
+    def test_serial_vs_parallel_bit_identical(self):
+        family = OSNAP(M, N, s=4)
+        instance = DBeta(N, 6, reps=2)
+        one = distortion_samples(
+            family, instance, trials=16, rng=np.random.SeedSequence(3),
+            batch=4, workers=1,
+        )
+        two = distortion_samples(
+            family, instance, trials=16, rng=np.random.SeedSequence(3),
+            batch=4, workers=2,
+        )
+        assert np.array_equal(one, two)
+
+    def test_cold_warm_off_cache_bit_identical(self, tmp_path):
+        from repro.cache.probes import ProbeCache
+
+        family = CountSketch(M, N)
+        instance = DBeta(N, 6, reps=1)
+
+        def run(cache=None):
+            return distortion_samples(
+                family, instance, trials=16,
+                rng=np.random.SeedSequence(5), batch=4, cache=cache,
+            )
+
+        off = run()
+        cold = run(ProbeCache(tmp_path / "cache"))
+        warm = run(ProbeCache(tmp_path / "cache"))
+        assert np.array_equal(off, cold)
+        assert np.array_equal(cold, warm)
+
+    def test_batch_size_enters_cache_key(self, tmp_path):
+        # A serial entry must never satisfy a batched lookup (different
+        # accumulation order) — distinct batch settings get distinct keys.
+        from repro.cache.probes import ProbeCache
+
+        family = OSNAP(M, N, s=4)
+        instance = DBeta(N, 6, reps=2)
+        cache = ProbeCache(tmp_path / "cache")
+        for batch in (None, 2, 4):
+            distortion_samples(
+                family, instance, trials=8,
+                rng=np.random.SeedSequence(5), batch=batch, cache=cache,
+            )
+        from repro.cache.store import JsonlStore
+
+        records = [r for r in JsonlStore(cache.path).load()
+                   if r.get("kind") == "distortion_samples"]
+        assert len(records) == 3
+
+    def test_batch_one_aliases_serial_cache_entry(self, tmp_path):
+        # batch=1 delegates to the serial path, so it shares the serial
+        # cache entries rather than recomputing.
+        from repro.cache.probes import ProbeCache
+
+        family = CountSketch(M, N)
+        instance = DBeta(N, 6, reps=1)
+        cache = ProbeCache(tmp_path / "cache")
+        distortion_samples(family, instance, trials=8,
+                           rng=np.random.SeedSequence(5), cache=cache)
+        distortion_samples(family, instance, trials=8,
+                           rng=np.random.SeedSequence(5), batch=1,
+                           cache=cache)
+        from repro.cache.store import JsonlStore
+
+        assert len(JsonlStore(cache.path).load()) == 1
+
+
+class TestPerTrialReconstruction:
+    """The batched samplers replay the serial per-trial sub-streams."""
+
+    SCATTER_CASES = [
+        pytest.param(lambda: CountSketch(M, N), id="countsketch"),
+        pytest.param(lambda: OSNAP(M, N, s=4), id="osnap-uniform"),
+        pytest.param(lambda: OSNAP(M, N, s=4, variant="block"),
+                     id="osnap-block"),
+    ]
+
+    @pytest.mark.parametrize("make_family", SCATTER_CASES)
+    def test_trial_kernels_match_serial_sampler(self, make_family):
+        family = make_family()
+        seeds = np.random.SeedSequence(SEED).spawn(6)
+        batched = family.sample_trial_batch(seeds)
+        for index, seed in enumerate(seeds):
+            serial = sample_sketch(family, seed, lazy=True).kernel
+            got = batched.trial_kernel(index).representation()
+            want = serial.representation()
+            assert np.array_equal(got["rows"], want["rows"])
+            assert np.array_equal(got["values"], want["values"])
+
+    @pytest.mark.parametrize("make_family", [
+        pytest.param(lambda: RowSampling(M, N), id="rowsampling"),
+        pytest.param(_leverage_family, id="leverage"),
+    ])
+    def test_gather_trial_kernels_match_serial_sampler(self, make_family):
+        family = make_family()
+        seeds = np.random.SeedSequence(SEED).spawn(6)
+        batched = family.sample_trial_batch(seeds)
+        for index, seed in enumerate(seeds):
+            serial = sample_sketch(family, seed, lazy=True).kernel
+            got = batched.trial_kernel(index).representation()
+            want = serial.representation()
+            assert np.array_equal(got["cols"], want["cols"])
+            assert np.array_equal(got["values"], want["values"])
+
+    @pytest.mark.parametrize("make_family", SCATTER_CASES)
+    def test_compacted_products_match_serial_scatter_bitwise(
+            self, make_family):
+        # The batched scatter inserts entries in the serial kernel's
+        # per-column order, so on the surviving (touched) rows the
+        # products must be bitwise equal — not merely close.
+        family = make_family()
+        instance = DBeta(N, 6, reps=2)
+        seeds = np.random.SeedSequence(SEED).spawn(4)
+        pairs = [seed.spawn(2) for seed in seeds]
+        batched = family.sample_trial_batch([p[0] for p in pairs])
+        draws = [instance.sample_support(p[1]) for p in pairs]
+        products = batched.sketched_bases(draws)
+        stacked = batched.representation()
+        for index, draw in enumerate(draws):
+            serial = batched.trial_kernel(index).sketched_basis(draw)
+            touched = np.unique(
+                stacked["rows"][index][:, np.asarray(draw.rows)]
+            )
+            assert np.array_equal(
+                products[index][:touched.size], serial[touched]
+            )
+            assert not products[index][touched.size:].any()
+
+
+class TestBatchedKernelValidation:
+    def test_batch_requires_fresh_sketch(self):
+        with pytest.raises(ValueError, match="fresh_sketch"):
+            failure_estimate(
+                CountSketch(M, N), DBeta(N, 6, reps=1), epsilon=0.5,
+                trials=4, rng=np.random.SeedSequence(0),
+                fresh_sketch=False, batch=4,
+            )
+
+    def test_batch_must_be_positive(self):
+        with pytest.raises(ValueError):
+            distortion_samples(
+                CountSketch(M, N), DBeta(N, 6, reps=1), trials=4,
+                rng=np.random.SeedSequence(0), batch=0,
+            )
+
+    def test_column_scatter_rejects_mismatched_trials(self):
+        rows = [np.zeros((2, 8), dtype=np.int64)]
+        signs = [np.ones((2, 8)), np.ones((2, 8))]
+        with pytest.raises(ValueError):
+            BatchedColumnScatter(rows, signs, 1.0, (4, 8))
+
+    def test_column_scatter_rejects_out_of_range_rows(self):
+        rows = [np.full((1, 8), 4, dtype=np.int64)]
+        signs = [np.ones((1, 8))]
+        with pytest.raises(ValueError, match="row index"):
+            BatchedColumnScatter(rows, signs, 1.0, (4, 8))
+
+    def test_row_gather_rejects_out_of_range_cols(self):
+        cols = np.full((1, 4), 8, dtype=np.int64)
+        values = np.ones((1, 4))
+        with pytest.raises(ValueError, match="column index"):
+            BatchedRowGather(cols, values, (4, 8))
+
+    def test_stacked_batch_rejects_shape_mismatch(self):
+        family = CountSketch(M, N)
+        kernel = sample_sketch(
+            family, np.random.SeedSequence(0), lazy=True
+        ).kernel
+        with pytest.raises(ValueError, match="share shape"):
+            StackedKernelBatch([kernel], (M + 1, N))
+
+    def test_distortions_validates_draw_count(self):
+        family = CountSketch(M, N)
+        batched = family.sample_trial_batch(
+            np.random.SeedSequence(0).spawn(3)
+        )
+        instance = DBeta(N, 6, reps=1)
+        draws = [
+            instance.sample_support(seed)
+            for seed in np.random.SeedSequence(1).spawn(2)
+        ]
+        with pytest.raises(ValueError, match="expected 3 draws"):
+            batched.distortions(draws)
+
+
+def _recording_stub(threshold, trials=20):
+    """Deterministic ``failure_estimate`` stand-in recording effective
+    dimensions; accepts the optional ``batch`` forwarded by ``minimal_m``."""
+    seen = []
+
+    def fake(family, instance, epsilon, probe_trials, rng=None,
+             fresh_sketch=True, workers=1, chunk_size=None, cache=None,
+             batch=None):
+        seen.append(family.m)
+        failures = 0 if family.m >= threshold else trials
+        return BernoulliEstimate(failures, trials)
+
+    return fake, seen
+
+
+class TestMinimalMEffectiveDimension:
+    """Block-structured families: ``with_m`` rounds up, and the search
+    must report what it actually probed."""
+
+    inst = DBeta(n=64, d=2, reps=1)
+
+    @pytest.mark.parametrize("family,step", [
+        pytest.param(OSNAP(m=4, n=64, s=4, variant="block"), 4,
+                     id="osnap-block"),
+        pytest.param(HadamardBlockSketch(m=4, n=64, block_order=4), 4,
+                     id="hadamard-block"),
+    ])
+    def test_effective_m_recorded_once_and_capped(self, family, step,
+                                                  monkeypatch):
+        stub, seen = _recording_stub(threshold=40)
+        monkeypatch.setattr("repro.core.tester.failure_estimate", stub)
+        result = minimal_m(family, self.inst, 0.1, 0.1, trials=20,
+                           rng=np.random.SeedSequence(0),
+                           m_min=1, m_max=50)
+        probed = [m for m, _ in result.evaluations]
+        assert probed == seen  # evaluations record what was executed
+        assert all(m % step == 0 for m in probed)
+        assert all(m <= 50 for m in probed)
+        assert len(set(probed)) == len(probed)  # aliased m never re-probed
+        assert result.found
+        assert result.m_star in probed
+        assert result.m_star == family.with_m(result.m_star).m
+
+    def test_m_star_is_effective_dimension(self, monkeypatch):
+        # Requested bracket values that are not multiples of the block
+        # size must surface as their rounded (actually probed) dimension.
+        family = OSNAP(m=4, n=64, s=4, variant="block")
+        stub, seen = _recording_stub(threshold=33)
+        monkeypatch.setattr("repro.core.tester.failure_estimate", stub)
+        result = minimal_m(family, self.inst, 0.1, 0.1, trials=20,
+                           rng=np.random.SeedSequence(0),
+                           m_min=1, m_max=100)
+        assert result.m_star % 4 == 0
+        assert result.m_star == 36  # smallest multiple of 4 above 33
+
+    def test_rounding_never_exceeds_m_max(self, monkeypatch):
+        # m_max=49 is not a multiple of 4: the largest probeable block
+        # dimension is 48, and the search must not round past the cap.
+        family = OSNAP(m=4, n=64, s=4, variant="block")
+        stub, seen = _recording_stub(threshold=1000)
+        monkeypatch.setattr("repro.core.tester.failure_estimate", stub)
+        result = minimal_m(family, self.inst, 0.1, 0.1, trials=20,
+                           rng=np.random.SeedSequence(0),
+                           m_min=1, m_max=49)
+        assert not result.found
+        assert max(seen) == 48
+        assert seen.count(48) == 1
+
+    def test_m_min_rounding_past_m_max_returns_unfound(self, monkeypatch):
+        family = OSNAP(m=8, n=64, s=8, variant="block")
+        stub, seen = _recording_stub(threshold=1)
+        monkeypatch.setattr("repro.core.tester.failure_estimate", stub)
+        result = minimal_m(family, self.inst, 0.1, 0.1, trials=20,
+                           rng=np.random.SeedSequence(0),
+                           m_min=5, m_max=7)
+        assert not result.found
+        assert seen == []
+
+    def test_real_search_reports_probed_dimension(self):
+        # End-to-end (no stub): the reported m_star is a dimension the
+        # block family can actually instantiate, within the cap.
+        family = OSNAP(m=8, n=N, s=4, variant="block")
+        instance = DBeta(N, 16, reps=1)
+        result = minimal_m(family, instance, epsilon=0.6, delta=0.2,
+                           trials=16, rng=np.random.SeedSequence(8),
+                           m_min=4, m_max=50, batch=8)
+        for m, _ in result.evaluations:
+            assert m % 4 == 0
+            assert m <= 50
+        if result.found:
+            assert result.m_star == family.with_m(result.m_star).m
+            assert result.m_star in [m for m, _ in result.evaluations]
+
+    def test_stub_without_batch_kwarg_still_works(self, monkeypatch):
+        # minimal_m forwards batch only when set, so historical stubs
+        # (and monkeypatched estimators) keep their old signature.
+        monkeypatch.setattr(
+            "repro.core.tester.failure_estimate",
+            lambda family, instance, epsilon, trials, rng=None,
+            fresh_sketch=True, workers=1, chunk_size=None, cache=None:
+            BernoulliEstimate(0 if family.m >= 8 else trials, trials),
+        )
+        result = minimal_m(CountSketch(4, 64), self.inst, 0.1, 0.1,
+                           trials=20, rng=np.random.SeedSequence(0),
+                           m_min=1, m_max=32)
+        assert result.found and result.m_star == 8

@@ -77,6 +77,44 @@ class TestJsonlStore:
         with pytest.raises(ValueError, match="line 2"):
             JsonlStore(path).load()
 
+    def test_non_finite_record_rejected_and_store_unchanged(self, tmp_path):
+        # allow_nan=False: a NaN/Infinity field would write a token only
+        # Python's lenient parser reads back.  The record is serialized
+        # before the file is touched, so the store stays pristine.
+        store = JsonlStore(tmp_path / "s.jsonl")
+        store.append({"ok": 1.5})
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                store.append({"value": bad})
+            with pytest.raises(ValueError):
+                store.append({"nested": {"deep": [1.0, bad]}})
+        store.close()
+        assert JsonlStore(tmp_path / "s.jsonl").load() == [{"ok": 1.5}]
+
+    def test_rejected_record_never_creates_file(self, tmp_path):
+        store = JsonlStore(tmp_path / "fresh.jsonl")
+        with pytest.raises(ValueError):
+            store.append({"value": float("nan")})
+        assert not (tmp_path / "fresh.jsonl").exists()
+
+    def test_numpy_scalars_round_trip(self, tmp_path):
+        store = JsonlStore(tmp_path / "s.jsonl")
+        store.append({
+            "i": np.int64(7),
+            "f": np.float64(0.25),
+            "b": np.bool_(True),
+            "a": np.arange(3),
+        })
+        store.close()
+        [record] = JsonlStore(tmp_path / "s.jsonl").load()
+        assert record == {"i": 7, "f": 0.25, "b": True, "a": [0, 1, 2]}
+
+    def test_non_finite_numpy_scalar_rejected(self, tmp_path):
+        store = JsonlStore(tmp_path / "s.jsonl")
+        with pytest.raises(ValueError):
+            store.append({"value": np.float64("nan")})
+        assert not (tmp_path / "s.jsonl").exists()
+
 
 class TestProbeCacheStore:
     def test_put_get_round_trip(self, tmp_path):

@@ -24,7 +24,14 @@ import pytest
 
 from repro.core.tester import distortion_samples
 
-from golden.regenerate import GOLDEN_PATH, GOLDEN_SEED, GOLDEN_TRIALS, cases
+from golden.regenerate import (
+    BATCHED_PATH,
+    GOLDEN_BATCH,
+    GOLDEN_PATH,
+    GOLDEN_SEED,
+    GOLDEN_TRIALS,
+    cases,
+)
 
 pytestmark = pytest.mark.kernels
 
@@ -32,6 +39,12 @@ pytestmark = pytest.mark.kernels
 @pytest.fixture(scope="module")
 def golden():
     with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def golden_batched():
+    with open(BATCHED_PATH) as handle:
         return json.load(handle)
 
 
@@ -56,3 +69,52 @@ def test_distortion_stream_unchanged(name, family, instance, golden):
 def test_golden_metadata_matches_parameters(golden):
     assert golden["seed"] == GOLDEN_SEED
     assert golden["trials"] == GOLDEN_TRIALS
+
+
+def test_batched_golden_file_covers_every_case(golden_batched):
+    assert sorted(golden_batched["streams"]) == sorted(
+        name for name, _, _ in cases()
+    )
+
+
+@pytest.mark.parametrize(
+    "name,family,instance",
+    [pytest.param(*case, id=case[0]) for case in cases()],
+)
+def test_batched_stream_unchanged(name, family, instance, golden_batched):
+    """Pin the batched engine's stream at a batch size with a partial tail."""
+    recorded = np.asarray(golden_batched["streams"][name], dtype=float)
+    current = distortion_samples(
+        family, instance, trials=GOLDEN_TRIALS,
+        rng=np.random.SeedSequence(GOLDEN_SEED), batch=GOLDEN_BATCH,
+    )
+    assert current.shape == recorded.shape
+    np.testing.assert_allclose(current, recorded, rtol=1e-9, atol=0.0)
+
+
+@pytest.mark.parametrize(
+    "name,family,instance",
+    [pytest.param(*case, id=case[0]) for case in cases()],
+)
+def test_batched_stream_matches_serial_pins(name, family, instance, golden):
+    """The batched engine reproduces the *serial* pins to SVD tolerance.
+
+    Everything upstream of the SVD (seeding, sampling, the scatter) is
+    stream-faithful by construction; only the reduction differs (batched
+    Gram SVD vs per-trial rectangular SVD), so the recorded serial values
+    bound the batched ones at the same 1e-9 used for cross-platform BLAS —
+    plus an absolute floor for distortions that are exactly 0 in one
+    reduction and one ULP away in the other.
+    """
+    recorded = np.asarray(golden["streams"][name], dtype=float)
+    current = distortion_samples(
+        family, instance, trials=GOLDEN_TRIALS,
+        rng=np.random.SeedSequence(GOLDEN_SEED), batch=GOLDEN_BATCH,
+    )
+    np.testing.assert_allclose(current, recorded, rtol=1e-9, atol=1e-12)
+
+
+def test_batched_golden_metadata_matches_parameters(golden_batched):
+    assert golden_batched["seed"] == GOLDEN_SEED
+    assert golden_batched["trials"] == GOLDEN_TRIALS
+    assert golden_batched["batch"] == GOLDEN_BATCH

@@ -10,6 +10,7 @@ from repro.linalg.distortion import (
     distortion,
     distortion_of_product,
     distortion_report,
+    distortions_of_products,
     is_subspace_embedding_for,
     sketched_basis,
     vector_distortion,
@@ -136,3 +137,51 @@ class TestVectorDistortion:
         # The sup-distortion bounds the distortion of any vector, as long
         # as sigma stays within [1 - dist, 1 + dist].
         assert vector_distortion(pi, u, x) <= distortion(pi, u) + 1e-9
+
+
+class TestDistortionsOfProducts:
+    """The batched reduction must agree with the per-product scalar path."""
+
+    def _stack(self, batch, k, d, seed):
+        rng = np.random.default_rng(seed)
+        return rng.standard_normal((batch, k, d)) / np.sqrt(k)
+
+    def test_matches_scalar_path_tall(self):
+        # k > 2d exercises the Gram-reduced branch.
+        products = self._stack(6, 40, 5, seed=0)
+        batched = distortions_of_products(products)
+        serial = [distortion_of_product(p) for p in products]
+        np.testing.assert_allclose(batched, serial, rtol=1e-9, atol=1e-12)
+
+    def test_matches_scalar_path_near_square(self):
+        # k <= 2d takes the direct rectangular-SVD branch.
+        products = self._stack(6, 8, 5, seed=1)
+        batched = distortions_of_products(products)
+        serial = [distortion_of_product(p) for p in products]
+        np.testing.assert_allclose(batched, serial, rtol=1e-12, atol=0.0)
+
+    def test_rows_below_d_forces_annihilation(self):
+        # A compacted stack whose true row count is below d has sigma_min
+        # exactly 0, whatever the compacted k suggests.
+        products = self._stack(4, 12, 5, seed=2)
+        out = distortions_of_products(products, rows=3)
+        hi = np.linalg.svd(products, compute_uv=False).max(axis=1)
+        np.testing.assert_allclose(out, np.maximum(1.0, hi - 1.0))
+
+    def test_rank_deficient_trial_recomputed_exactly(self):
+        # One trial annihilates a direction: its Gram spectrum trips the
+        # ratio floor and must be recomputed from the rectangular product.
+        products = self._stack(5, 40, 4, seed=3)
+        rng = np.random.default_rng(4)
+        basis = np.linalg.qr(rng.standard_normal((40, 3)))[0]
+        products[2] = basis @ rng.standard_normal((3, 4))
+        batched = distortions_of_products(products)
+        serial = [distortion_of_product(p) for p in products]
+        np.testing.assert_allclose(batched, serial, rtol=1e-9, atol=1e-12)
+        assert batched[2] >= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            distortions_of_products(np.ones((3, 4)))
+        with pytest.raises(ValueError):
+            distortions_of_products(np.ones((2, 0, 3)))

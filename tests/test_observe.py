@@ -118,6 +118,17 @@ class TestRunLedger:
         assert event["m"] == 8
         assert event["rate"] == pytest.approx(0.5)
 
+    def test_non_finite_fields_rejected(self, tmp_path):
+        # allow_nan=False: a NaN/inf field must raise instead of writing
+        # a bare-token line no strict JSON reader could parse back.
+        path = tmp_path / "run.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.emit("probe", m=4)
+            for bad in (float("nan"), float("inf"), np.float64("nan")):
+                with pytest.raises(ValueError):
+                    ledger.emit("probe", rate=bad)
+        assert [e["kind"] for e in read_events(path)] == ["probe"]
+
     def test_torn_trailing_line_tolerated(self, tmp_path):
         path = tmp_path / "run.jsonl"
         path.write_text('{"kind": "a"}\n{"kind": "b"')
