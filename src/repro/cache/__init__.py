@@ -21,15 +21,20 @@ See :doc:`docs/caching` for the design.
 
 from .checkpoint import ExperimentCheckpoint
 from .keys import cache_key, canonical_json
-from .probes import CachedProbe, ProbeCache, ScopedProbeCache
+from .merge import MergeConflict, MergeReport, merge_stores
+from .probes import CachedProbe, ProbeCache, ScopedProbeCache, TieredProbeCache
 from .store import JsonlStore
 
 __all__ = [
     "CachedProbe",
     "ExperimentCheckpoint",
     "JsonlStore",
+    "MergeConflict",
+    "MergeReport",
     "ProbeCache",
     "ScopedProbeCache",
+    "TieredProbeCache",
     "cache_key",
     "canonical_json",
+    "merge_stores",
 ]

@@ -1,0 +1,56 @@
+"""Cache maintenance CLI: ``python -m repro.cache merge MERGED SHARD...``.
+
+Folds shard probe stores (see :mod:`repro.shard`) into one merged cache
+directory via :func:`repro.cache.merge.merge_stores`.  Exit codes:
+
+* ``0`` — merge succeeded (possibly with probe groups still pending a
+  missing shard; the report says which);
+* ``2`` — conflict or corruption: stores disagree about a probe, a span
+  tiling overlaps, or a record fails its content-address re-check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .merge import MergeConflict, merge_stores
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cache",
+        description="Probe-cache maintenance commands.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    merge = sub.add_parser(
+        "merge",
+        help="fold shard probe stores into one merged cache directory",
+        description=(
+            "Fold shard cache directories (or probes.jsonl paths) into "
+            "OUTPUT. Existing OUTPUT records participate, so repeated "
+            "merges accumulate; complete shard-span groups are folded "
+            "into the full records a serial run would replay."
+        ),
+    )
+    merge.add_argument("output", help="merged cache directory (created if needed)")
+    merge.add_argument("inputs", nargs="+", metavar="shard",
+                       help="shard cache directories to fold in")
+    args = parser.parse_args(argv)
+    if args.command == "merge":
+        try:
+            report = merge_stores(args.inputs, args.output)
+        except (MergeConflict, ValueError) as exc:
+            print(f"merge failed: {exc}", file=sys.stderr)
+            return 2
+        print(report.render())
+        return 0
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

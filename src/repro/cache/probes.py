@@ -25,18 +25,23 @@ tests certify that a warm re-run executed zero new trials.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Dict, NamedTuple, Optional, Union
+from typing import Any, Dict, NamedTuple, Optional, Sequence, Union
 
 from ..observe.counters import add_count
 from ..observe.ledger import emit_event
 from .keys import cache_key, canonical_json
 from .store import JsonlStore
 
-__all__ = ["CachedProbe", "ProbeCache", "ScopedProbeCache"]
+__all__ = [
+    "CachedProbe",
+    "ProbeCache",
+    "ScopedProbeCache",
+    "TieredProbeCache",
+]
 
 #: Counter names that describe the caching machinery itself; never stored
 #: in cached records (merging them back would double-count bookkeeping).
-_BOOKKEEPING_PREFIXES = ("cache_", "checkpoint_")
+_BOOKKEEPING_PREFIXES = ("cache_", "checkpoint_", "shard_")
 
 
 class CachedProbe(NamedTuple):
@@ -44,6 +49,16 @@ class CachedProbe(NamedTuple):
 
     value: Dict[str, Any]
     counters: Dict[str, int]
+
+
+def _observe_lookup(kind: str, spec: Dict[str, Any],
+                    hit: Optional[CachedProbe]) -> None:
+    """Report one logical lookup as a ``cache_hit``/``cache_miss``."""
+    key = cache_key(kind, spec)
+    name = "cache_hit" if hit is not None else "cache_miss"
+    add_count(name)
+    emit_event(name, cache_kind=kind, key=key[:16],
+               m=spec.get("m"), trials=spec.get("trials"))
 
 
 class ProbeCache:
@@ -82,14 +97,16 @@ class ProbeCache:
         """The JSONL record file."""
         return self._store.path
 
-    def get(self, kind: str, spec: Dict[str, Any]) -> Optional[CachedProbe]:
-        """Look up a probe; emits ``cache_hit``/``cache_miss`` either way."""
+    def peek(self, kind: str, spec: Dict[str, Any]) -> Optional[CachedProbe]:
+        """Silent lookup: no ``cache_hit``/``cache_miss`` observability.
+
+        The building block for tiered lookups (:class:`TieredProbeCache`
+        consults several stores but must report exactly one hit or miss);
+        direct callers almost always want :meth:`get`.
+        """
         key = cache_key(kind, spec)
         record = self._index.get(key)
         if record is None:
-            add_count("cache_miss")
-            emit_event("cache_miss", cache_kind=kind, key=key[:16],
-                       m=spec.get("m"), trials=spec.get("trials"))
             return None
         if record.get("spec") is not None and \
                 canonical_json(record["spec"]) != canonical_json(spec):
@@ -97,9 +114,6 @@ class ProbeCache:
                 f"probe cache corruption: key {key[:16]} holds a record "
                 f"whose stored spec disagrees with the request"
             )
-        add_count("cache_hit")
-        emit_event("cache_hit", cache_kind=kind, key=key[:16],
-                   m=spec.get("m"), trials=spec.get("trials"))
         return CachedProbe(
             value=dict(record.get("value", {})),
             counters={
@@ -107,6 +121,12 @@ class ProbeCache:
                 for name, count in record.get("counters", {}).items()
             },
         )
+
+    def get(self, kind: str, spec: Dict[str, Any]) -> Optional[CachedProbe]:
+        """Look up a probe; emits ``cache_hit``/``cache_miss`` either way."""
+        hit = self.peek(kind, spec)
+        _observe_lookup(kind, spec, hit)
+        return hit
 
     def put(self, kind: str, spec: Dict[str, Any], value: Dict[str, Any],
             counters: Optional[Dict[str, int]] = None) -> None:
@@ -146,9 +166,13 @@ class ProbeCache:
 
 
 class ScopedProbeCache:
-    """A :class:`ProbeCache` view whose specs carry extra scope fields."""
+    """A probe-cache view whose specs carry extra scope fields.
 
-    def __init__(self, base: ProbeCache, extra: Dict[str, Any]) -> None:
+    ``base`` is any object with the probe-cache ``get``/``put`` surface —
+    a :class:`ProbeCache` or a :class:`TieredProbeCache`.
+    """
+
+    def __init__(self, base: Any, extra: Dict[str, Any]) -> None:
         self._base = base
         self._extra = dict(extra)
 
@@ -158,6 +182,10 @@ class ScopedProbeCache:
         scope.update(self._extra)
         merged["scope"] = scope
         return merged
+
+    def peek(self, kind: str, spec: Dict[str, Any]) -> Optional[CachedProbe]:
+        """Silent scoped lookup (see :meth:`ProbeCache.peek`)."""
+        return self._base.peek(kind, self._scoped_spec(spec))
 
     def get(self, kind: str, spec: Dict[str, Any]) -> Optional[CachedProbe]:
         return self._base.get(kind, self._scoped_spec(spec))
@@ -173,3 +201,58 @@ class ScopedProbeCache:
 
     def __repr__(self) -> str:
         return f"ScopedProbeCache({self._base!r}, extra={self._extra})"
+
+
+class TieredProbeCache:
+    """A writable :class:`ProbeCache` layered over read-only base stores.
+
+    The shard runner's cache view (:mod:`repro.shard`): each shard writes
+    its own records into ``write`` (its private shard store) while also
+    seeing everything already folded into a merged base store — full
+    records resolved by previous merge rounds resolve probes without
+    re-executing trials.  Lookups consult ``write`` first, then each base
+    in order; exactly one ``cache_hit``/``cache_miss`` is reported per
+    logical lookup regardless of how many tiers were consulted.
+    """
+
+    def __init__(self, write: ProbeCache,
+                 read_only: Sequence[ProbeCache] = ()) -> None:
+        self._write = write
+        self._read_only = list(read_only)
+
+    @property
+    def write_cache(self) -> ProbeCache:
+        """The tier that receives :meth:`put` records."""
+        return self._write
+
+    def peek(self, kind: str, spec: Dict[str, Any]) -> Optional[CachedProbe]:
+        """Silent lookup across all tiers, write tier first."""
+        for tier in [self._write, *self._read_only]:
+            hit = tier.peek(kind, spec)
+            if hit is not None:
+                return hit
+        return None
+
+    def get(self, kind: str, spec: Dict[str, Any]) -> Optional[CachedProbe]:
+        """Tiered lookup reporting one ``cache_hit``/``cache_miss``."""
+        hit = self.peek(kind, spec)
+        _observe_lookup(kind, spec, hit)
+        return hit
+
+    def put(self, kind: str, spec: Dict[str, Any], value: Dict[str, Any],
+            counters: Optional[Dict[str, int]] = None) -> None:
+        """Record into the write tier only."""
+        self._write.put(kind, spec, value, counters)
+
+    def scoped(self, **extra: Any) -> ScopedProbeCache:
+        """A scoped view over the whole tier stack."""
+        return ScopedProbeCache(self, extra)
+
+    def close(self) -> None:
+        self._write.close()
+        for tier in self._read_only:
+            tier.close()
+
+    def __repr__(self) -> str:
+        return (f"TieredProbeCache(write={self._write!r}, "
+                f"read_only={len(self._read_only)})")

@@ -87,9 +87,29 @@ class JsonlStore:
                           default=json_default)
         self._path.parent.mkdir(parents=True, exist_ok=True)
         if self._handle is None:
+            self._trim_torn_tail()
             self._handle = open(self._path, "a", encoding="utf-8")
         self._handle.write(line + "\n")
         self._handle.flush()
+
+    def _trim_torn_tail(self) -> None:
+        """Drop a torn final line before the first append of this handle.
+
+        A writer killed mid-append can leave a final line without its
+        newline.  ``load`` skips that fragment, but appending *after* it
+        would glue the next record onto the garbage and corrupt a line in
+        the middle of the file — so the fragment is truncated away first.
+        Appends from live processes are single whole-line writes, so a
+        missing trailing newline can only mean a crashed writer, never an
+        in-flight one.
+        """
+        if not self._path.exists():
+            return
+        data = self._path.read_bytes()
+        if not data or data.endswith(b"\n"):
+            return
+        with open(self._path, "r+b") as handle:
+            handle.truncate(data.rfind(b"\n") + 1)
 
     def close(self) -> None:
         """Release the append handle (idempotent; reopened on demand)."""

@@ -19,21 +19,47 @@ import numpy as np
 
 from ..hardinstances.dbeta import HardInstance
 from ..linalg.distortion import distortion_of_product
-from ..observe.counters import counters
+from ..observe.counters import add_count, counters
 from ..observe.ledger import emit_event
 from ..observe.trace import trace
 from ..sketch.base import Sketch, SketchFamily, sample_sketch
-from ..utils.parallel import TrialExecutor
-from ..utils.rng import RngLike, as_generator, seed_fingerprint, spawn, spawn_seeds
+from ..utils.parallel import (
+    ShardSpec,
+    TrialExecutor,
+    normalize_shard,
+    shard_spans,
+)
+from ..utils.rng import (
+    RngLike,
+    as_generator,
+    seed_fingerprint,
+    spawn,
+    spawn_seeds,
+    spawn_slice,
+)
 from ..utils.stats import BernoulliEstimate
 from ..utils.validation import check_epsilon, check_positive_int, check_probability
 
 __all__ = [
+    "ShardPending",
     "failure_estimate",
     "distortion_samples",
     "MinimalMResult",
     "minimal_m",
 ]
+
+
+class ShardPending(Exception):
+    """A sharded probe stored its trial slice but cannot resolve yet.
+
+    Raised by :func:`failure_estimate` / :func:`distortion_samples` when
+    called with ``shard=`` and the probe is absent from the (merged)
+    cache: this shard's slice is now on disk as a shard-partial record,
+    and the full value exists only after ``python -m repro.cache merge``
+    folds all slices.  :func:`minimal_m` catches it internally (returning
+    ``pending=True``); the shard driver (:mod:`repro.shard`) catches it
+    at the top level and schedules another merge round.
+    """
 
 
 def _distortion_trial(family: SketchFamily, instance: HardInstance,
@@ -125,6 +151,68 @@ def _probe_spec(family: SketchFamily, instance: HardInstance,
     }
 
 
+def _shard_spec_of(spec: Dict[str, Any], shard: ShardSpec,
+                   span: Tuple[int, int]) -> Dict[str, Any]:
+    """The shard-partial content address: the parent spec plus the slice.
+
+    The merge CLI (:func:`repro.cache.merge.merge_stores`) recovers the
+    parent key by removing the ``"shard"`` field, so a folded group lands
+    on exactly the key a serial run would look up.
+    """
+    tagged = dict(spec)
+    tagged["shard"] = {
+        "count": shard.count, "index": shard.index,
+        "span": [int(span[0]), int(span[1])],
+    }
+    return tagged
+
+
+def _slice_distortions(family: SketchFamily, instance: HardInstance,
+                       fixed: Optional[Sketch],
+                       seeds: Sequence[np.random.SeedSequence],
+                       workers: Optional[int], chunk_size: Optional[int],
+                       batch: Optional[int], batched: bool) -> List[float]:
+    """Run one shard's contiguous slice of trials over pre-derived seeds.
+
+    Empty slices (more shards than work units) run nothing; the batched
+    engine keeps ``chunk_size=batch``, and since :func:`shard_spans`
+    aligns slice boundaries to ``batch`` multiples, the chunk
+    decomposition — and hence the batched arithmetic — matches the
+    serial run's exactly.
+    """
+    if not seeds:
+        return []
+    if batched:
+        executor = TrialExecutor(workers=workers, chunk_size=batch)
+        return [float(v) for v in executor.run_chunked(
+            partial(_batched_trial_chunk, family, instance), seeds,
+        )]
+    executor = TrialExecutor(workers=workers, chunk_size=chunk_size)
+    return [float(v) for v in executor.run_seeded(
+        partial(_distortion_trial, family, instance, fixed), seeds,
+    )]
+
+
+def _shard_pending(probe: str, spec: Dict[str, Any], shard: ShardSpec,
+                   span: Tuple[int, int], computed: bool) -> ShardPending:
+    """Mark one probe as awaiting a merge round; returns the exception.
+
+    The ``shard_pending`` counter is how drivers (:mod:`repro.shard`)
+    detect that a round left unresolved probes; it is bookkeeping, never
+    stored into cached deltas (see ``_BOOKKEEPING_PREFIXES``).
+    """
+    add_count("shard_pending")
+    emit_event(
+        "shard_partial" if computed else "shard_pending",
+        probe=probe, m=spec.get("m"), trials=spec.get("trials"),
+        shard=shard.label, span=[int(span[0]), int(span[1])],
+    )
+    return ShardPending(
+        f"{probe} (m={spec.get('m')}, trials={spec.get('trials')}): shard "
+        f"{shard.label} slice {list(span)} stored, awaiting merge"
+    )
+
+
 def failure_estimate(family: SketchFamily, instance: HardInstance,
                      epsilon: float, trials: int,
                      rng: RngLike = None,
@@ -132,7 +220,8 @@ def failure_estimate(family: SketchFamily, instance: HardInstance,
                      workers: Optional[int] = 1,
                      chunk_size: Optional[int] = None,
                      cache: Optional[Any] = None,
-                     batch: Optional[int] = None) -> BernoulliEstimate:
+                     batch: Optional[int] = None,
+                     shard: Optional[Any] = None) -> BernoulliEstimate:
     """Estimate ``P[Π is NOT an ε-embedding for U]``.
 
     Each trial draws ``U`` from ``instance`` and (by default) a fresh
@@ -166,11 +255,25 @@ def failure_estimate(family: SketchFamily, instance: HardInstance,
     from the serial stream at the ULP level, which is why the batch size
     enters the cache key.  Requires ``fresh_sketch=True``; the chunk
     decomposition is pinned to ``batch`` (``chunk_size`` is ignored).
+
+    ``shard`` (a :class:`~repro.utils.parallel.ShardSpec` or an
+    ``(index, count)`` pair) runs this call as one worker of an N-way
+    fan-out: when the probe cannot be resolved from ``cache``, only this
+    shard's contiguous trial slice is executed — on the **same** child
+    seed streams the serial run hands those trials, via
+    :func:`~repro.utils.rng.spawn_slice` — and the outcome is stored as a
+    shard-partial cache record for ``python -m repro.cache merge`` to
+    fold.  The call then raises :class:`ShardPending` (counted as
+    ``shard_pending``); once a merged store resolves the probe, the same
+    call returns the full estimate bit-identically to a serial run.
+    Requires ``cache=`` and a seed-backed ``rng``; see :mod:`repro.shard`
+    for the driver.
     """
     epsilon = check_epsilon(epsilon)
     trials = check_positive_int(trials, "trials")
     batch = _check_batch(batch, fresh_sketch)
     batched = batch is not None and batch > 1
+    shard = normalize_shard(shard)
     if family.n != instance.n:
         raise ValueError(
             f"family ambient dimension ({family.n}) must match instance "
@@ -204,6 +307,50 @@ def failure_estimate(family: SketchFamily, instance: HardInstance,
                     int(hit.value["successes"]), int(hit.value["trials"]),
                     float(hit.value["confidence"]),
                 )
+    if shard is not None:
+        if spec is None:
+            raise ValueError(
+                "shard= requires cache= and a seed-backed rng: shard "
+                "partials are exchanged through the probe cache, keyed by "
+                "the seed fingerprint"
+            )
+        span = shard_spans(trials, shard.count,
+                           step=batch if batched else 1)[shard.index]
+        shard_spec = _shard_spec_of(spec, shard, span)
+        if cache.peek("failure_estimate", shard_spec) is not None:
+            # This shard's slice is already on disk (resume after a crash
+            # or a later round); only the merge is still outstanding.
+            raise _shard_pending("failure_estimate", spec, shard, span,
+                                 computed=False)
+        lo, hi = span
+        if fresh_sketch:
+            fixed = None
+            before = counters().snapshot()
+        elif shard.index == 0:
+            # Every shard must sample the fixed sketch (trial seeds start
+            # at child 1), but exactly one delta may carry its cost or the
+            # folded counters would overcount it (count - 1) times.
+            before = counters().snapshot()
+            fixed = sample_sketch(family, spawn(gen), lazy=True)
+        else:
+            fixed = sample_sketch(family, spawn(gen), lazy=True)
+            before = counters().snapshot()
+        seeds = spawn_slice(gen, lo, hi, total=trials)
+        distortions = _slice_distortions(
+            family, instance, fixed, seeds, workers, chunk_size,
+            batch, batched,
+        )
+        cache.put(
+            "failure_estimate", shard_spec,
+            {
+                "successes": sum(1 for v in distortions if v > epsilon),
+                "trials": hi - lo,
+                "confidence": BernoulliEstimate(0, 1).confidence,
+            },
+            counters().diff(before),
+        )
+        raise _shard_pending("failure_estimate", spec, shard, span,
+                             computed=True)
     before = counters().snapshot() if spec is not None else {}
     if batched:
         executor = TrialExecutor(workers=workers, chunk_size=batch)
@@ -242,7 +389,8 @@ def distortion_samples(family: SketchFamily, instance: HardInstance,
                        workers: Optional[int] = 1,
                        chunk_size: Optional[int] = None,
                        cache: Optional[Any] = None,
-                       batch: Optional[int] = None) -> np.ndarray:
+                       batch: Optional[int] = None,
+                       shard: Optional[Any] = None) -> np.ndarray:
     """Sampled distortions (one per trial) — the full failure CDF.
 
     Shares :func:`failure_estimate`'s trial engine and determinism
@@ -252,11 +400,16 @@ def distortion_samples(family: SketchFamily, instance: HardInstance,
     spawn counter replayed on hits; see :func:`failure_estimate`).
     ``batch`` selects the batched kernel engine exactly as in
     :func:`failure_estimate` (``None``/``1`` = serial path, ``> 1`` =
-    vectorized chunks with the batch size in the cache key).
+    vectorized chunks with the batch size in the cache key).  ``shard``
+    runs one slice of an N-way fan-out and raises :class:`ShardPending`
+    until a merged cache resolves the probe, exactly as in
+    :func:`failure_estimate` (the folded record concatenates slice
+    values in span order — the serial sample order).
     """
     trials = check_positive_int(trials, "trials")
     batch = _check_batch(batch, fresh_sketch=True)
     batched = batch is not None and batch > 1
+    shard = normalize_shard(shard)
     gen = as_generator(rng)
     spec = None
     if cache is not None:
@@ -270,6 +423,33 @@ def distortion_samples(family: SketchFamily, instance: HardInstance,
                 spawn_seeds(gen, trials)
                 counters().merge(hit.counters)
                 return np.asarray(hit.value["values"], dtype=float)
+    if shard is not None:
+        if spec is None:
+            raise ValueError(
+                "shard= requires cache= and a seed-backed rng: shard "
+                "partials are exchanged through the probe cache, keyed by "
+                "the seed fingerprint"
+            )
+        span = shard_spans(trials, shard.count,
+                           step=batch if batched else 1)[shard.index]
+        shard_spec = _shard_spec_of(spec, shard, span)
+        if cache.peek("distortion_samples", shard_spec) is not None:
+            raise _shard_pending("distortion_samples", spec, shard, span,
+                                 computed=False)
+        lo, hi = span
+        before = counters().snapshot()
+        seeds = spawn_slice(gen, lo, hi, total=trials)
+        values = _slice_distortions(
+            family, instance, None, seeds, workers, chunk_size,
+            batch, batched,
+        )
+        cache.put(
+            "distortion_samples", shard_spec,
+            {"values": values},
+            counters().diff(before),
+        )
+        raise _shard_pending("distortion_samples", spec, shard, span,
+                             computed=True)
     before = counters().snapshot() if spec is not None else {}
     if batched:
         executor = TrialExecutor(workers=workers, chunk_size=batch)
@@ -309,6 +489,12 @@ class MinimalMResult:
         Every probed point as ``(m, estimate)``, in probe order.
     delta:
         The target failure rate.
+    pending:
+        ``True`` when a sharded search (``shard=``) stopped at a probe
+        whose trials are not yet resolvable from the merged cache — the
+        shard computed and stored its slice of that probe; ``m_star`` is
+        meaningless until a merge round folds the partials and the search
+        is replayed.  Always ``False`` for unsharded searches.
     """
 
     m_star: Optional[int]
@@ -316,6 +502,7 @@ class MinimalMResult:
         default_factory=list
     )
     delta: float = 0.1
+    pending: bool = False
 
     @property
     def found(self) -> bool:
@@ -342,7 +529,8 @@ def minimal_m(family: SketchFamily, instance: HardInstance, epsilon: float,
               workers: Optional[int] = 1,
               chunk_size: Optional[int] = None,
               cache: Optional[Any] = None,
-              batch: Optional[int] = None) -> MinimalMResult:
+              batch: Optional[int] = None,
+              shard: Optional[Any] = None) -> MinimalMResult:
     """Search for the minimal ``m`` with failure rate ≤ ``δ``.
 
     Exponential search upward from ``m_min`` (factor ``growth``) until a
@@ -394,6 +582,16 @@ def minimal_m(family: SketchFamily, instance: HardInstance, epsilon: float,
     deterministic function of probe outcomes, so a warm re-run replays
     the exact cold-run probe sequence against the cache and re-derives
     the bracket (and ``m_star``) with zero new trials executed.
+
+    ``shard`` runs the search as one worker of an N-way fan-out (see
+    :func:`failure_estimate` and :mod:`repro.shard`): the adaptive probe
+    sequence is replayed against the merged cache; at the first probe the
+    cache cannot resolve, this shard computes and stores its trial slice
+    and the search returns early with ``pending=True``.  Because the
+    schedule is a deterministic function of full probe outcomes, each
+    shard advances one probe per merge round and the final replay against
+    the fully merged store reproduces the serial search bit for bit —
+    requires ``cache=`` and a seed-backed ``rng``.
     """
     epsilon = check_epsilon(epsilon)
     delta = check_probability(delta, "delta")
@@ -408,13 +606,21 @@ def minimal_m(family: SketchFamily, instance: HardInstance, epsilon: float,
             f"decision must be one of {_DECISIONS}, got {decision!r}"
         )
     batch = _check_batch(batch, fresh_sketch=True)
+    shard = normalize_shard(shard)
+    if shard is not None and cache is None:
+        raise ValueError(
+            "shard= requires cache=: a sharded search exchanges probe "
+            "partials through the probe cache"
+        )
     gen = as_generator(rng)
     result = MinimalMResult(m_star=None, delta=delta)
     probe_cache = None if cache is None \
         else cache.scoped(search="minimal_m", decision=decision)
-    # Only forward `batch` when set: probes must keep calling any
+    # Only forward `batch`/`shard` when set: probes must keep calling any
     # monkeypatched/stubbed failure_estimate with its historical signature.
     probe_kwargs: Dict[str, Any] = {} if batch is None else {"batch": batch}
+    if shard is not None:
+        probe_kwargs["shard"] = shard
 
     def passes(est: BernoulliEstimate) -> bool:
         if decision == "confident_pass":
@@ -429,7 +635,7 @@ def minimal_m(family: SketchFamily, instance: HardInstance, epsilon: float,
 
     probed: Dict[int, BernoulliEstimate] = {}
 
-    def probe(m: int, phase: str) -> bool:
+    def probe(m: int, phase: str) -> Optional[bool]:
         started = time.perf_counter()
         fam = family.with_m(m)
         known = probed.get(fam.m)
@@ -445,11 +651,17 @@ def minimal_m(family: SketchFamily, instance: HardInstance, epsilon: float,
                 elapsed=time.perf_counter() - started,
             )
             return ok
-        est = failure_estimate(
-            fam, instance, epsilon, trials, spawn(gen),
-            workers=workers, chunk_size=chunk_size, cache=probe_cache,
-            **probe_kwargs,
-        )
+        try:
+            est = failure_estimate(
+                fam, instance, epsilon, trials, spawn(gen),
+                workers=workers, chunk_size=chunk_size, cache=probe_cache,
+                **probe_kwargs,
+            )
+        except ShardPending:
+            # Sharded search: this probe is not resolvable yet — our
+            # slice is stored, the search stops until the next merge.
+            result.pending = True
+            return None
         probed[fam.m] = est
         result.evaluations.append((fam.m, est))
         ok = passes(est)
@@ -494,7 +706,10 @@ def minimal_m(family: SketchFamily, instance: HardInstance, epsilon: float,
         last_fail = None
         first_pass = None
         while True:
-            if probe(m, "exponential"):
+            verdict = probe(m, "exponential")
+            if verdict is None:
+                return result
+            if verdict:
                 first_pass = m
                 break
             last_fail = m
@@ -512,7 +727,10 @@ def minimal_m(family: SketchFamily, instance: HardInstance, epsilon: float,
         lo, hi = last_fail, first_pass
         while hi - lo > max(1, lo // 20):
             mid = (lo + hi) // 2
-            if probe(mid, "bisection"):
+            verdict = probe(mid, "bisection")
+            if verdict is None:
+                return result
+            if verdict:
                 hi = mid
             else:
                 lo = mid

@@ -14,6 +14,17 @@ experiment checkpoints (see :mod:`repro.cache` and docs/caching.md);
 ``--resume`` additionally skips experiments whose checkpoint matches the
 requested seed and scale, reusing the checkpointed JSON byte-for-byte.
 Results are bit-identical with the cache on, off, cold, or warm.
+
+``--shards N`` splits every Monte-Carlo trial budget across N shards and
+reproduces the serial bytes exactly (see :mod:`repro.shard` and
+docs/caching.md "Sharded runs & merge").  Alone it runs the whole
+shard/merge/replay protocol in-process; with ``--shard-index K`` it runs
+only shard K's pass — exit code 3 means probe slices were stored and a
+``python -m repro.cache merge`` plus another pass are still needed::
+
+    python -m repro.experiments E1 --scale 0.05 --cache-dir DIR --shards 3
+    python -m repro.experiments E1 --scale 0.05 --cache-dir DIR \\
+        --shards 3 --shard-index 1
 """
 
 from __future__ import annotations
@@ -104,6 +115,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip experiments already checkpointed in --cache-dir for "
              "this seed and scale, reusing their JSON byte-for-byte",
     )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="split the trial budget across N shards (requires "
+             "--cache-dir; results are byte-identical to a serial run at "
+             "the same seed).  Without --shard-index the full "
+             "shard/merge/replay protocol runs in this process",
+    )
+    parser.add_argument(
+        "--shard-index", type=int, default=None, metavar="K",
+        help="run only shard K of --shards N (one pass; partial probe "
+             "slices land in DIR/shard-0K).  Exits 3 while probes await "
+             "'python -m repro.cache merge DIR/merged DIR/shard-*'",
+    )
+    parser.add_argument(
+        "--max-rounds", type=int, default=256, metavar="R",
+        help="round limit for the in-process shard/merge loop "
+             "(default 256)",
+    )
     return parser
 
 
@@ -113,6 +142,20 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.resume and args.cache_dir is None:
         parser.error("--resume requires --cache-dir")
+    if args.shard_index is not None and args.shards is None:
+        parser.error("--shard-index requires --shards")
+    if args.shards is not None:
+        if args.shards < 1:
+            parser.error(f"--shards must be positive, got {args.shards}")
+        if args.cache_dir is None:
+            parser.error("--shards requires --cache-dir (shard partials "
+                         "are exchanged through the probe cache)")
+        if args.shard_index is not None \
+                and not 0 <= args.shard_index < args.shards:
+            parser.error(
+                f"--shard-index must lie in [0, {args.shards}), "
+                f"got {args.shard_index}"
+            )
     if args.experiment is None:
         for eid in experiment_ids():
             cls = EXPERIMENTS[eid]
@@ -130,15 +173,25 @@ def main(argv=None) -> int:
             return 2
     cache = None
     checkpoints = None
+    cache_dir = None
     if args.cache_dir is not None:
         from ..cache import ExperimentCheckpoint, ProbeCache
 
         cache_dir = Path(args.cache_dir)
-        cache = ProbeCache(cache_dir)
+        if args.shards is None:
+            cache = ProbeCache(cache_dir)
         checkpoints = ExperimentCheckpoint(cache_dir / "checkpoints")
     ledger: Optional[RunLedger] = None
     if args.ledger is not None or args.progress:
-        ledger = RunLedger(args.ledger, progress=args.progress)
+        # Per-shard invocations stamp their shard label on every event so
+        # segments appended to one file (or read together) regroup
+        # cleanly in `python -m repro.observe summarize`.
+        shard_label = (
+            f"{args.shard_index}/{args.shards}"
+            if args.shard_index is not None else None
+        )
+        ledger = RunLedger(args.ledger, progress=args.progress,
+                           shard=shard_label)
     with ExitStack() as stack:
         if ledger is not None:
             stack.enter_context(ledger)
@@ -147,6 +200,7 @@ def main(argv=None) -> int:
                 seed=args.seed, workers=args.workers,
                 cache_dir=args.cache_dir, resume=args.resume,
             )
+        pending_total = 0
         for eid in targets:
             resumed = False
             if args.resume and checkpoints is not None:
@@ -155,10 +209,43 @@ def main(argv=None) -> int:
                 )
                 resumed = result is not None
             if not resumed:
-                result = run_experiment(
-                    eid, scale=args.scale, rng=args.seed,
-                    workers=args.workers, cache=cache,
-                )
+                if args.shards is not None:
+                    from ..shard import shard_pass, sharded_call
+
+                    def sharded(shard_cache, shard, eid=eid):
+                        return run_experiment(
+                            eid, scale=args.scale, rng=args.seed,
+                            workers=args.workers, cache=shard_cache,
+                            shard=shard,
+                        )
+
+                    if args.shard_index is not None:
+                        result, pending = shard_pass(
+                            sharded, (args.shard_index, args.shards),
+                            cache_dir,
+                        )
+                        if pending:
+                            # This shard's probe slices are stored; the
+                            # result exists only after a merge resolves
+                            # them.  Leave the checkpoint unwritten.
+                            pending_total += pending
+                            print(
+                                f"[shard {args.shard_index}/{args.shards}] "
+                                f"{eid}: {pending} probe slice(s) stored, "
+                                f"awaiting cache merge",
+                                file=sys.stderr,
+                            )
+                            continue
+                    else:
+                        result = sharded_call(
+                            sharded, args.shards, cache_dir,
+                            max_rounds=args.max_rounds,
+                        )
+                else:
+                    result = run_experiment(
+                        eid, scale=args.scale, rng=args.seed,
+                        workers=args.workers, cache=cache,
+                    )
                 if checkpoints is not None:
                     checkpoints.save(
                         result, seed=args.seed, scale=args.scale
@@ -184,7 +271,9 @@ def main(argv=None) -> int:
                     result.save_json(directory / f"{eid}.json")
         if cache is not None:
             cache.close()
-    return 0
+    # 3 = "shard pass left probes pending a merge": distinct from error
+    # codes so shard launchers can loop run→merge→rerun until 0.
+    return 3 if pending_total else 0
 
 
 if __name__ == "__main__":

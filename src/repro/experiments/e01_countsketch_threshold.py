@@ -73,7 +73,7 @@ class CountSketchThresholdExperiment(Experiment):
             search = minimal_m(
                 family, hard, EPSILON, DELTA, trials=trials,
                 m_min=max(4, q), rng=spawn(rng), workers=self.workers,
-                cache=self.cache,
+                cache=self.cache, shard=self.shard,
             )
             m_hard = search.m_star if search.found else float("nan")
 
@@ -82,7 +82,7 @@ class CountSketchThresholdExperiment(Experiment):
             control = minimal_m(
                 control_family, control_inst, EPSILON, DELTA,
                 trials=max(10, trials // 2), m_min=4, rng=spawn(rng),
-                workers=self.workers, cache=self.cache,
+                workers=self.workers, cache=self.cache, shard=self.shard,
             )
             m_control = control.m_star if control.found else float("nan")
 

@@ -17,10 +17,11 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from ..observe.counters import counters
 from ..observe.ledger import emit_event
+from ..utils.parallel import ShardSpec, normalize_shard
 from ..utils.rng import RngLike, as_generator
 from ..utils.serialization import json_default, to_builtin
 from ..utils.tables import TextTable
@@ -35,8 +36,10 @@ __all__ = [
 #: Counter-name prefixes describing caching/checkpoint bookkeeping rather
 #: than the computation itself.  Excluded from ``count_*`` result metrics:
 #: a warm-cache run hits where a cold run misses, and metrics must stay
-#: bit-identical across cold, warm, and cache-off runs.
-NON_RESULT_COUNTER_PREFIXES = ("cache_", "checkpoint_")
+#: bit-identical across cold, warm, and cache-off runs (and across
+#: sharded-and-merged vs serial runs — ``shard_`` counters exist only in
+#: shard passes).
+NON_RESULT_COUNTER_PREFIXES = ("cache_", "checkpoint_", "shard_")
 
 
 def scaled_int(base: int, scale: float, minimum: int = 1) -> int:
@@ -183,6 +186,8 @@ class Experiment(abc.ABC):
     _workers: int = 1
     #: Probe cache for ``failure_estimate``/``minimal_m``; set by :meth:`run`.
     _cache = None
+    #: This run's shard identity (or ``None``); set by :meth:`run`.
+    _shard: Optional[ShardSpec] = None
 
     @property
     def workers(self) -> int:
@@ -206,8 +211,21 @@ class Experiment(abc.ABC):
         """
         return self._cache
 
+    @property
+    def shard(self) -> Optional[ShardSpec]:
+        """This run's shard identity in an N-way fan-out (or ``None``).
+
+        Experiment implementations forward this as the ``shard=`` argument
+        of ``failure_estimate`` / ``distortion_samples`` / ``minimal_m``;
+        with it set, those calls execute only this shard's trial slices
+        and exchange partial results through the probe cache (see
+        :mod:`repro.shard`).  ``None`` — the default — is plain serial
+        execution.
+        """
+        return self._shard
+
     def run(self, scale: float = 1.0, rng: RngLike = None,
-            workers: int = 1, cache=None) -> ExperimentResult:
+            workers: int = 1, cache=None, shard=None) -> ExperimentResult:
         """Run the experiment; ``scale`` shrinks or grows the workload.
 
         ``workers`` parallelizes the experiment's Monte-Carlo trial loops
@@ -228,8 +246,15 @@ class Experiment(abc.ABC):
         """
         if scale <= 0:
             raise ValueError(f"scale must be positive, got {scale}")
+        shard = normalize_shard(shard)
+        if shard is not None and cache is None:
+            raise ValueError(
+                "shard= requires cache=: shard passes exchange probe "
+                "partials through the probe cache (see repro.shard)"
+            )
         self._workers = workers
         self._cache = cache
+        self._shard = shard
         emit_event(
             "experiment_start", experiment=self.experiment_id,
             title=self.title, scale=scale, workers=workers,
@@ -240,6 +265,7 @@ class Experiment(abc.ABC):
             result = self._run(scale, as_generator(rng))
         finally:
             self._cache = None
+            self._shard = None
         result.elapsed_seconds = time.perf_counter() - started
         delta = counters().diff(before)
         for name in sorted(delta):

@@ -70,23 +70,27 @@ def get_experiment(experiment_id: str) -> Experiment:
 
 def run_experiment(experiment_id: str, scale: float = 1.0,
                    rng: RngLike = None,
-                   workers: int = 1, cache=None) -> ExperimentResult:
+                   workers: int = 1, cache=None,
+                   shard=None) -> ExperimentResult:
     """Run one experiment by id.
 
     ``workers`` parallelizes its trial loops; ``cache`` (a
     :class:`repro.cache.ProbeCache`) reuses probe results across runs —
-    neither changes any result at a fixed seed.
+    neither changes any result at a fixed seed.  ``shard`` (a
+    :class:`~repro.utils.parallel.ShardSpec` or ``(index, count)`` pair)
+    runs one shard pass of an N-way fan-out; see :mod:`repro.shard`.
     """
     return get_experiment(experiment_id).run(
-        scale=scale, rng=rng, workers=workers, cache=cache
+        scale=scale, rng=rng, workers=workers, cache=cache, shard=shard
     )
 
 
 def run_all(scale: float = 1.0, rng: RngLike = None,
-            workers: int = 1, cache=None) -> List[ExperimentResult]:
+            workers: int = 1, cache=None,
+            shard=None) -> List[ExperimentResult]:
     """Run every experiment, returning results in order."""
     return [
         run_experiment(eid, scale=scale, rng=rng, workers=workers,
-                       cache=cache)
+                       cache=cache, shard=shard)
         for eid in experiment_ids()
     ]

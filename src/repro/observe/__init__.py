@@ -30,6 +30,7 @@ from .ledger import (
     current_ledger,
     deterministic_view,
     emit_event,
+    read_event_segments,
     read_events,
     use_ledger,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "current_ledger",
     "deterministic_view",
     "emit_event",
+    "read_event_segments",
     "read_events",
     "trace",
     "use_ledger",

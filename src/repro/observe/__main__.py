@@ -3,14 +3,19 @@
 Usage::
 
     python -m repro.observe summarize RUN.jsonl
+    python -m repro.observe summarize shard-0.jsonl shard-1.jsonl ...
+
+Multiple files are read as segments of one run (e.g. per-shard ledgers)
+and summarized grouped per shard/pid stream.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
-from .summarize import summarize_path
+from .summarize import summarize_paths
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -24,8 +29,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="render per-probe tables and wall-clock breakdowns from a "
              "JSON-lines ledger",
     )
-    summarize.add_argument("ledger", metavar="LEDGER",
-                           help="path to a JSON-lines ledger file")
+    summarize.add_argument("ledger", metavar="LEDGER", nargs="+",
+                           help="JSON-lines ledger file(s); several files "
+                                "are read as segments of one run")
     return parser
 
 
@@ -36,8 +42,16 @@ def main(argv=None) -> int:
     if args.command is None:
         parser.print_usage(sys.stderr)
         return 2
+    # read_event_segments tolerates absent segments (a shard that never
+    # wrote), but every file named on the command line must exist — a
+    # typo'd path silently summarizing as "0 events" helps nobody.
+    for path in args.ledger:
+        if not Path(path).exists():
+            print(f"cannot read ledger: {path}: no such file",
+                  file=sys.stderr)
+            return 2
     try:
-        print(summarize_path(args.ledger))
+        print(summarize_paths(args.ledger))
     except OSError as exc:
         print(f"cannot read ledger: {exc}", file=sys.stderr)
         return 2

@@ -48,6 +48,7 @@ __all__ = [
     "current_ledger",
     "deterministic_view",
     "emit_event",
+    "read_event_segments",
     "read_events",
     "use_ledger",
 ]
@@ -59,11 +60,15 @@ __all__ = [
 EXECUTION_KINDS = frozenset({
     "batch_dispatch", "batch_done",
     "cache_hit", "cache_miss", "checkpoint_save", "experiment_resumed",
+    "shard_partial", "shard_pending", "shard_round",
 })
 
 #: Per-event fields that carry wall-clock or process identity and are
-#: stripped from the deterministic view.
-TIMING_FIELDS = frozenset({"t", "elapsed", "worker", "workers", "pid"})
+#: stripped from the deterministic view.  ``shard`` is identity, not
+#: payload: an N-shard run merged back together must produce the same
+#: view as a serial run (see :mod:`repro.shard`).
+TIMING_FIELDS = frozenset({"t", "elapsed", "worker", "workers", "pid",
+                           "shard"})
 
 
 def _json_default(value: Any) -> Any:
@@ -94,11 +99,21 @@ class RunLedger:
     keep_events:
         Retain events on :attr:`events` for in-process inspection.
         Defaults to ``True`` exactly when ``path`` is ``None``.
+    shard:
+        Optional shard label (e.g. ``"1/3"``) stamped on every event, so
+        segments from concurrent shard passes can share a ledger file (or
+        be read together with :func:`read_event_segments`) and still be
+        regrouped per shard by ``summarize``.
+
+    Every event additionally carries the emitting process id as ``pid``;
+    both stamps are identity fields (:data:`TIMING_FIELDS`) and never
+    reach the deterministic view.
     """
 
     def __init__(self, path: Union[str, Path, None] = None, *,
                  progress: bool = False, buffer_lines: int = 256,
-                 keep_events: Optional[bool] = None) -> None:
+                 keep_events: Optional[bool] = None,
+                 shard: Optional[str] = None) -> None:
         if buffer_lines < 1:
             raise ValueError(
                 f"buffer_lines must be positive, got {buffer_lines}"
@@ -109,6 +124,7 @@ class RunLedger:
         self._buffer_lines = buffer_lines
         self._keep = (path is None) if keep_events is None else keep_events
         self._events: List[Dict[str, Any]] = []
+        self._shard = shard
         self._pid = os.getpid()
         self._handle: Optional[IO[str]] = None
         self._closed = False
@@ -127,7 +143,10 @@ class RunLedger:
         """Record one event; a no-op after close and in forked children."""
         if self._closed or os.getpid() != self._pid:
             return
-        event: Dict[str, Any] = {"t": time.time(), "kind": kind}
+        event: Dict[str, Any] = {"t": time.time(), "kind": kind,
+                                 "pid": self._pid}
+        if self._shard is not None:
+            event.setdefault("shard", self._shard)
         event.update(fields)
         if self._keep:
             self._events.append(event)
@@ -250,6 +269,27 @@ def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
             raise ValueError(
                 f"{path}: unparseable ledger line {number}: {line[:80]!r}"
             ) from None
+    return events
+
+
+def read_event_segments(
+    paths: List[Union[str, Path]],
+) -> List[Dict[str, Any]]:
+    """Parse several ledger segments into one event list, in order.
+
+    A sharded run typically leaves one ledger file per shard pass (or per
+    worker process).  Each segment gets the same torn-trailing-line
+    tolerance as :func:`read_events` — a shard killed mid-write loses at
+    most its final line, never the other shards' segments — while a
+    corrupt line in the *middle* of any segment still raises.  A segment
+    that does not exist (a shard killed before its first write) reads as
+    empty.
+    """
+    events: List[Dict[str, Any]] = []
+    for path in paths:
+        if not Path(path).exists():
+            continue
+        events.extend(read_events(path))
     return events
 
 

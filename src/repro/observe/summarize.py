@@ -16,17 +16,28 @@ event list) reconstructs, from the JSON-lines events alone:
 The renderer never requires end events: a crashed ``all --scale 1.0`` run
 summarizes up to its last flushed line, with incomplete experiments and
 searches marked as such.
+
+A ledger holding events from several processes — shard passes appending
+to one file, or multiple segments read together — is **regrouped per
+shard/pid stream** before rendering: the accumulators above assume each
+``*_start`` pairs with the next ``*_end`` of the same process, which
+interleaved streams would scramble (probes of shard 1 landing inside
+shard 0's search tables).  Each stream renders as its own section.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..utils.tables import TextTable
-from .ledger import read_events
+from .ledger import read_event_segments, read_events
 
-__all__ = ["summarize", "summarize_path"]
+__all__ = ["summarize", "summarize_path", "summarize_paths"]
+
+#: Event fields that identify/timestamp rather than count; skipped when
+#: folding ``counters`` events into per-experiment aggregates.
+_NON_COUNTER_FIELDS = ("t", "kind", "experiment", "pid", "shard")
 
 
 class _Search:
@@ -57,8 +68,65 @@ def _fmt_seconds(value: Any) -> str:
     return f"{float(value):.2f}" if value is not None else "?"
 
 
+def _stream_key(event: Dict[str, Any]) -> Optional[Tuple[Any, ...]]:
+    """Which shard/pid stream an event belongs to (None = unattributed).
+
+    Shard label takes precedence over pid: one shard re-run in a fresh
+    process (crash recovery) still folds into the same stream.
+    """
+    shard = event.get("shard")
+    if isinstance(shard, str):
+        return ("shard", shard)
+    pid = event.get("pid")
+    if pid is not None:
+        return ("pid", int(pid))
+    return None
+
+
+def _stream_order(key: Optional[Tuple[Any, ...]]) -> Tuple[Any, ...]:
+    """Sort key: shards by index, then pids, then unattributed."""
+    if key is None:
+        return (2, 0, "")
+    scope, value = key
+    if scope == "shard":
+        head = str(value).split("/", 1)[0]
+        index = int(head) if head.isdigit() else 0
+        return (0, index, str(value))
+    return (1, value, "")
+
+
+def _stream_title(key: Optional[Tuple[Any, ...]]) -> str:
+    if key is None:
+        return "unattributed events"
+    scope, value = key
+    return f"shard {value}" if scope == "shard" else f"pid {value}"
+
+
 def summarize(events: List[Dict[str, Any]]) -> str:
-    """Render an event list (see :func:`repro.observe.read_events`)."""
+    """Render an event list (see :func:`repro.observe.read_events`).
+
+    Events from multiple shard/pid streams are grouped per stream and
+    rendered as separate sections (see the module docstring); a
+    single-stream ledger renders without section headers.
+    """
+    streams: Dict[Optional[Tuple[Any, ...]], List[Dict[str, Any]]] = {}
+    for event in events:
+        streams.setdefault(_stream_key(event), []).append(event)
+    if len(streams) <= 1:
+        return _render_stream(events)
+    parts: List[str] = []
+    for key in sorted(streams, key=_stream_order):
+        parts.append(f"=== {_stream_title(key)} "
+                     f"({len(streams[key])} events) ===")
+        parts.append(_render_stream(streams[key]))
+    parts.append(
+        f"({len(events)} events across {len(streams)} shard/pid streams)"
+    )
+    return "\n\n".join(parts)
+
+
+def _render_stream(events: List[Dict[str, Any]]) -> str:
+    """Render one process's event stream (the pre-shard ``summarize``)."""
     experiments: List[_Experiment] = []
     searches: List[_Search] = []
     spans: Dict[str, List[float]] = {}
@@ -108,7 +176,7 @@ def summarize(events: List[Dict[str, Any]]) -> str:
         elif kind == "counters":
             if current_exp is not None:
                 for key, value in event.items():
-                    if key in ("t", "kind", "experiment"):
+                    if key in _NON_COUNTER_FIELDS:
                         continue
                     current_exp.counters[key] = \
                         current_exp.counters.get(key, 0) + int(value)
@@ -235,3 +303,13 @@ def summarize(events: List[Dict[str, Any]]) -> str:
 def summarize_path(path: Union[str, Path]) -> str:
     """Read a JSON-lines ledger file and render its summary."""
     return summarize(read_events(path))
+
+
+def summarize_paths(paths: List[Union[str, Path]]) -> str:
+    """Read several ledger segments and render one grouped summary.
+
+    Segments are concatenated in argument order (torn trailing lines
+    tolerated per segment — see :func:`read_event_segments`) and then
+    regrouped per shard/pid stream by :func:`summarize`.
+    """
+    return summarize(read_event_segments(paths))

@@ -36,9 +36,12 @@ from .rng import RngLike, spawn_seeds
 from .validation import check_positive_int
 
 __all__ = [
+    "ShardSpec",
     "TrialExecutor",
+    "normalize_shard",
     "resolve_workers",
     "run_trials",
+    "shard_spans",
 ]
 
 #: A per-trial computation: receives the trial's own seed sequence and
@@ -59,6 +62,83 @@ def resolve_workers(workers: Optional[int]) -> int:
     if workers < 0:
         raise ValueError(f"workers must be nonnegative or None, got {workers}")
     return workers
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One worker's identity in an N-way sharded trial fan-out.
+
+    ``index`` is this shard's position in ``[0, count)``; ``count`` is the
+    total number of shards the trial budget is split across.  A spec with
+    ``count == 1`` describes an unsharded run (see :func:`normalize_shard`).
+    """
+
+    index: int
+    count: int
+
+    def __post_init__(self):
+        check_positive_int(self.count, "shard count")
+        if not 0 <= self.index < self.count:
+            raise ValueError(
+                f"shard index must lie in [0, {self.count}), got {self.index}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Human-readable ``index/count`` tag for ledgers and reports."""
+        return f"{self.index}/{self.count}"
+
+
+def normalize_shard(shard: Any) -> Optional[ShardSpec]:
+    """Normalize a ``shard`` knob: ``None`` or ``count == 1`` mean serial.
+
+    Accepts ``None``, a :class:`ShardSpec`, or an ``(index, count)`` pair.
+    Returns ``None`` whenever the described fan-out is degenerate (a
+    single shard owns the whole budget), so callers can branch on
+    ``shard is None`` for the serial fast path.
+    """
+    if shard is None:
+        return None
+    if not isinstance(shard, ShardSpec):
+        try:
+            index, count = shard
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"shard must be None, a ShardSpec, or an (index, count) "
+                f"pair, got {shard!r}"
+            ) from None
+        shard = ShardSpec(int(index), int(count))
+    return None if shard.count == 1 else shard
+
+
+def shard_spans(total: int, count: int, step: int = 1) -> List[Tuple[int, int]]:
+    """Contiguous trial spans assigning ``total`` trials to ``count`` shards.
+
+    The spans tile ``[0, total)`` exactly — disjoint, ordered, complete —
+    so shard ``k`` owns trials ``spans[k][0] .. spans[k][1] - 1`` and the
+    union over shards is precisely the serial trial range.  The split is
+    balanced in units of ``step`` trials: with ``step > 1`` (the batched
+    engine's chunk size) every span boundary falls on a multiple of
+    ``step``, so each shard's chunk decomposition coincides with the
+    serial run's and chunk-composition-dependent arithmetic stays
+    bit-identical.  Shards beyond the available units receive empty spans
+    rather than raising — a shard with nothing to do is valid.
+    """
+    if total < 0:
+        raise ValueError(f"total must be nonnegative, got {total}")
+    count = check_positive_int(count, "count")
+    step = check_positive_int(step, "step")
+    units = -(-total // step) if total else 0
+    base, extra = divmod(units, count)
+    spans: List[Tuple[int, int]] = []
+    unit = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        lo = min(unit * step, total)
+        unit += size
+        hi = min(unit * step, total)
+        spans.append((lo, hi))
+    return spans
 
 
 def _run_chunk(fn: TrialFn, seeds: Sequence[np.random.SeedSequence]) -> list:

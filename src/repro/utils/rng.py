@@ -33,6 +33,7 @@ __all__ = [
     "spawn",
     "spawn_many",
     "spawn_seeds",
+    "spawn_slice",
     "stream",
 ]
 
@@ -99,6 +100,40 @@ def spawn_seeds(rng: RngLike, count: int) -> List[np.random.SeedSequence]:
         # repro-lint: disable-next-line=RPL002
         seq = np.random.SeedSequence(entropy)
     return seq.spawn(count)
+
+
+def spawn_slice(rng: RngLike, start: int, stop: int,
+                total: Optional[int] = None) -> List[np.random.SeedSequence]:
+    """Children ``[start, stop)`` of the next ``total`` spawn slots.
+
+    The shard-slice primitive behind :mod:`repro.shard`: a serial trial
+    loop consumes child streams ``0 .. total-1`` of the caller's seed
+    sequence (via :func:`spawn_seeds`); a shard that owns the contiguous
+    slice ``[start, stop)`` of those trials calls
+    ``spawn_slice(rng, start, stop, total=total)`` and receives **the very
+    same child sequences** the serial run would have handed to trials
+    ``start .. stop-1`` — shard boundaries can never change which stream
+    a trial consumes, because children depend only on the parent's seed
+    material and the child's index.
+
+    The parent's spawn counter is advanced by ``total`` (default
+    ``stop``), exactly as if all ``total`` children had been spawned, so
+    every shard leaves the parent stream in the serial run's end state
+    and downstream draws stay aligned.
+    """
+    if not 0 <= start <= stop:
+        raise ValueError(
+            f"need 0 <= start <= stop, got start={start}, stop={stop}"
+        )
+    total = stop if total is None else total
+    if total < stop:
+        raise ValueError(
+            f"total ({total}) must cover the slice end ({stop})"
+        )
+    # SeedSequence.spawn is the only sanctioned way to advance the spawn
+    # counter, so all `total` children are derived and the slice is cut
+    # out; construction is cheap (entropy mixing only, no bit-generator).
+    return spawn_seeds(rng, total)[start:stop]
 
 
 def seed_fingerprint(rng: RngLike = None) -> Optional[Dict[str, Any]]:

@@ -11,6 +11,7 @@ recorded experiment number is potentially stale.
 """
 
 import json
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -27,11 +28,16 @@ from repro.sketch import (
 
 GOLDEN_PATH = Path(__file__).with_name("distortion_streams.json")
 BATCHED_PATH = Path(__file__).with_name("batched_streams.json")
+SHARD_PATH = Path(__file__).with_name("shard_streams.json")
 GOLDEN_SEED = 20220620  # PODS'22 vintage
 GOLDEN_TRIALS = 24
 #: Batch size for the batched-engine pins; deliberately not a divisor of
 #: GOLDEN_TRIALS so the trailing partial chunk stays covered.
 GOLDEN_BATCH = 5
+#: Per-probe trial budget of the sharded-search pins; deliberately not a
+#: multiple of SHARD_COUNT so span boundaries land off the even split.
+SHARD_TRIALS = 18
+SHARD_COUNT = 3
 
 _N = 192
 
@@ -56,8 +62,43 @@ def cases():
     ]
 
 
+def shard_cases():
+    """(name, family, instance) pairs pinned by the sharded-search file.
+
+    One scatter sketch at ``s=1`` and one at ``s=4``: the two kernel
+    shapes the shard protocol has to keep stream-faithful.
+    """
+    return [
+        ("countsketch", CountSketch(8, _N), DBeta(_N, 6, reps=1)),
+        ("osnap", OSNAP(8, _N, s=4), DBeta(_N, 6, reps=2)),
+    ]
+
+
+def shard_search(family, instance, cache=None, shard=None):
+    """The pinned ``minimal_m`` search, as a sharded workload."""
+    from repro.core.tester import minimal_m
+
+    return minimal_m(
+        family, instance, 0.5, 0.25, trials=SHARD_TRIALS,
+        m_min=8, m_max=_N, rng=np.random.SeedSequence(GOLDEN_SEED),
+        cache=cache, shard=shard,
+    )
+
+
+def search_payload(result):
+    """The JSON-stable view of a search result the pins record."""
+    return {
+        "m_star": result.m_star,
+        "evaluations": [
+            [int(m), int(est.successes), int(est.trials)]
+            for m, est in result.evaluations
+        ],
+    }
+
+
 def main():
     from repro.core.tester import distortion_samples
+    from repro.shard import sharded_call
 
     streams = {}
     batched = {}
@@ -87,6 +128,23 @@ def main():
     }
     BATCHED_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {BATCHED_PATH} ({len(batched)} streams)")
+    searches = {}
+    for name, family, instance in shard_cases():
+        with tempfile.TemporaryDirectory() as workdir:
+            result = sharded_call(
+                lambda cache, shard, f=family, i=instance:
+                    shard_search(f, i, cache=cache, shard=shard),
+                SHARD_COUNT, workdir,
+            )
+        searches[name] = search_payload(result)
+    payload = {
+        "seed": GOLDEN_SEED,
+        "trials": SHARD_TRIALS,
+        "shards": SHARD_COUNT,
+        "searches": searches,
+    }
+    SHARD_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {SHARD_PATH} ({len(searches)} searches)")
 
 
 if __name__ == "__main__":

@@ -229,6 +229,55 @@ class TestDistortionSamplesBitIdentity:
         assert warm_values.dtype == np.float64
 
 
+class TestBatchCacheKeys:
+    """``batch=1`` is the serial path and must share its cache entries;
+    ``batch > 1`` runs different floating-point arithmetic and must not.
+    """
+
+    def _samples(self, cache, batch, seed=11):
+        gen = np.random.default_rng(seed)
+        return distortion_samples(_family(), _instance(), 12, gen,
+                                  cache=cache, batch=batch)
+
+    @pytest.mark.parametrize("first,second", [(None, 1), (1, None)])
+    def test_batch_one_and_serial_share_samples_entry(self, tmp_path,
+                                                      first, second):
+        cache = ProbeCache(tmp_path)
+        cold = self._samples(cache, first)
+        assert len(cache) == 1
+        before = counters().snapshot()
+        warm = self._samples(cache, second)
+        delta = counters().diff(before)
+        assert delta.get("cache_hit") == 1
+        assert "cache_miss" not in delta
+        np.testing.assert_array_equal(cold, warm)
+        assert len(cache) == 1  # nothing new written
+
+    def test_batch_one_and_serial_share_estimate_entry(self, tmp_path):
+        cache = ProbeCache(tmp_path)
+        gen = np.random.default_rng(11)
+        cold = failure_estimate(_family(), _instance(), 0.5, 20, gen,
+                                cache=cache, batch=None)
+        before = counters().snapshot()
+        gen = np.random.default_rng(11)
+        warm = failure_estimate(_family(), _instance(), 0.5, 20, gen,
+                                cache=cache, batch=1)
+        delta = counters().diff(before)
+        assert delta.get("cache_hit") == 1
+        assert "cache_miss" not in delta
+        assert (cold.successes, cold.trials) == (warm.successes, warm.trials)
+
+    def test_larger_batch_never_consumes_serial_entry(self, tmp_path):
+        cache = ProbeCache(tmp_path)
+        self._samples(cache, None)  # warm serial entry
+        before = counters().snapshot()
+        self._samples(cache, 4)
+        delta = counters().diff(before)
+        assert delta.get("cache_miss") == 1
+        assert "cache_hit" not in delta
+        assert len(cache) == 2  # batched entry stored beside the serial one
+
+
 class TestMinimalMWarmStart:
     def _search(self, cache, seed=3, decision="point"):
         return minimal_m(_family(), _instance(), 0.5, 0.3, trials=15,

@@ -7,6 +7,12 @@ kernel dispatch, or the distortion arithmetic shows up here as a diff —
 the values were recorded from the materialized-matmul engine, so they also
 re-certify the kernels' bit-identity contract on every run.
 
+``tests/golden/shard_streams.json`` additionally pins a ``minimal_m``
+search per sketch family as recorded through a 3-shard
+:func:`repro.shard.sharded_call` — and the tests here require the same
+bytes from 1-, 2-, and 3-shard fan-outs *and* from the plain serial
+search, the shard layer's core invariance.
+
 Comparison uses a tight relative tolerance (1e-9) rather than exact
 equality only to absorb BLAS/LAPACK differences across platforms in the
 SVD inside ``distortion_of_product``; everything upstream of the SVD is
@@ -30,7 +36,13 @@ from golden.regenerate import (
     GOLDEN_PATH,
     GOLDEN_SEED,
     GOLDEN_TRIALS,
+    SHARD_COUNT,
+    SHARD_PATH,
+    SHARD_TRIALS,
     cases,
+    search_payload,
+    shard_cases,
+    shard_search,
 )
 
 pytestmark = pytest.mark.kernels
@@ -118,3 +130,56 @@ def test_batched_golden_metadata_matches_parameters(golden_batched):
     assert golden_batched["seed"] == GOLDEN_SEED
     assert golden_batched["trials"] == GOLDEN_TRIALS
     assert golden_batched["batch"] == GOLDEN_BATCH
+
+
+@pytest.fixture(scope="module")
+def golden_shard():
+    with open(SHARD_PATH) as handle:
+        return json.load(handle)
+
+
+def test_shard_golden_file_covers_every_case(golden_shard):
+    assert sorted(golden_shard["searches"]) == sorted(
+        name for name, _, _ in shard_cases()
+    )
+    assert golden_shard["seed"] == GOLDEN_SEED
+    assert golden_shard["trials"] == SHARD_TRIALS
+    assert golden_shard["shards"] == SHARD_COUNT
+
+
+@pytest.mark.parametrize(
+    "name,family,instance",
+    [pytest.param(*case, id=case[0]) for case in shard_cases()],
+)
+def test_serial_search_matches_shard_pins(name, family, instance,
+                                          golden_shard):
+    """The pins, though recorded through a 3-shard merge, are the *serial*
+    search outcome — a plain cache-less run reproduces them exactly."""
+    payload = search_payload(shard_search(family, instance))
+    assert payload == golden_shard["searches"][name]
+
+
+@pytest.mark.parametrize("shards", [1, 2, 3])
+@pytest.mark.parametrize(
+    "name,family,instance",
+    [pytest.param(*case, id=case[0]) for case in shard_cases()],
+)
+def test_shard_count_invariance(name, family, instance, shards,
+                                golden_shard, tmp_path):
+    """Shard-count invariance: any fan-out reproduces the pinned search.
+
+    The probe schedule, successes, and m* must not depend on how the
+    trial budget was partitioned — the canonical-JSON bytes of the
+    payload are identical for 1, 2, and 3 shards.
+    """
+    from repro.shard import sharded_call
+
+    result = sharded_call(
+        lambda cache, shard: shard_search(family, instance,
+                                          cache=cache, shard=shard),
+        shards, tmp_path,
+    )
+    payload = search_payload(result)
+    pinned = golden_shard["searches"][name]
+    assert json.dumps(payload, sort_keys=True) \
+        == json.dumps(pinned, sort_keys=True)

@@ -28,7 +28,8 @@ from repro.observe import (
     trace,
     use_ledger,
 )
-from repro.observe.summarize import summarize, summarize_path
+from repro.observe.ledger import read_event_segments
+from repro.observe.summarize import summarize, summarize_path, summarize_paths
 from repro.sketch.countsketch import CountSketch
 from repro.utils.stats import estimate_probability
 
@@ -337,6 +338,142 @@ class TestSummarize:
         text = summarize(events)
         assert "Counters (E1)" in text
         assert "sketch_samples" in text
+
+
+class TestMultiStreamSummarize:
+    """Ledgers written by several shard/pid streams must be regrouped
+    per stream, never summarized as one interleaved run."""
+
+    @staticmethod
+    def _probe(t, m, shard=None, pid=None):
+        event = {"t": t, "kind": "probe", "m": m, "successes": 1,
+                 "trials": 10, "passed": True, "phase": "exponential",
+                 "elapsed": 0.1}
+        if shard is not None:
+            event["shard"] = shard
+        if pid is not None:
+            event["pid"] = pid
+        return event
+
+    def _shard_events(self):
+        # Interleaved in time, as concurrent shard appends would land.
+        events = []
+        for t, (shard, m) in enumerate([("0/3", 8), ("1/3", 8), ("2/3", 8),
+                                        ("0/3", 16), ("2/3", 16),
+                                        ("1/3", 16)]):
+            events.append(self._probe(t, m, shard=shard, pid=100 + t % 3))
+        return events
+
+    def test_shard_streams_get_sections(self):
+        text = summarize(self._shard_events())
+        for label in ("shard 0/3", "shard 1/3", "shard 2/3"):
+            assert f"=== {label}" in text
+        assert "3 shard/pid streams" in text
+
+    def test_sections_do_not_interleave(self):
+        text = summarize(self._shard_events())
+        # Each section holds exactly its own two probes: headers appear in
+        # shard order and each section body mentions both probed m values.
+        first = text.index("=== shard 0/3")
+        second = text.index("=== shard 1/3")
+        third = text.index("=== shard 2/3")
+        assert first < second < third
+        for lo, hi in ((first, second), (second, third), (third, len(text))):
+            section = text[lo:hi]
+            # Each shard stream holds exactly its own 2 events / 1 search.
+            assert "(2 events)" in section
+            assert "1 searches" in section
+
+    def test_pid_grouping_without_shard_labels(self):
+        events = [self._probe(0, 8, pid=41), self._probe(1, 8, pid=42),
+                  self._probe(2, 16, pid=41)]
+        text = summarize(events)
+        assert "=== pid 41 (2 events)" in text
+        assert "=== pid 42 (1 events)" in text
+
+    def test_single_stream_renders_flat(self):
+        # One pid = the pre-shard layout: no section headers.
+        events = [self._probe(0, 8, pid=7), self._probe(1, 16, pid=7)]
+        assert "===" not in summarize(events)
+
+    def test_counters_fold_ignores_identity_fields(self):
+        # pid/shard are stream identity, not counter payload: they must
+        # not be summed into the counters table.  All events share one
+        # pid, so the render stays flat and 4242 could only appear as a
+        # (wrongly folded) counter row.
+        events = [
+            {"t": 0, "kind": "experiment_start", "experiment": "E1",
+             "pid": 4242},
+            {"t": 1, "kind": "counters", "experiment": "E1", "pid": 4242,
+             "trials": 20},
+            {"t": 2, "kind": "experiment_end", "experiment": "E1",
+             "elapsed": 1.0, "metrics": {}, "pid": 4242},
+        ]
+        text = summarize(events)
+        assert "===" not in text  # single stream: flat render
+        assert "4242" not in text
+
+
+class TestEventSegments:
+    def test_segments_concatenate_in_order(self, tmp_path):
+        paths = []
+        for index, kind in enumerate(["a", "b"]):
+            path = tmp_path / f"seg{index}.jsonl"
+            path.write_text(json.dumps({"t": index, "kind": kind}) + "\n")
+            paths.append(path)
+        assert [e["kind"] for e in read_event_segments(paths)] == ["a", "b"]
+
+    def test_torn_final_line_per_segment(self, tmp_path):
+        # A shard killed mid-append leaves a torn *final* line in its own
+        # segment; that must not poison the segments that follow it.
+        first = tmp_path / "crashed.jsonl"
+        first.write_text('{"t": 0, "kind": "a"}\n{"t": 1, "kind": "torn')
+        second = tmp_path / "clean.jsonl"
+        second.write_text('{"t": 2, "kind": "b"}\n')
+        events = read_event_segments([first, second])
+        assert [e["kind"] for e in events] == ["a", "b"]
+
+    def test_missing_segment_is_empty(self, tmp_path):
+        path = tmp_path / "only.jsonl"
+        path.write_text('{"t": 0, "kind": "a"}\n')
+        events = read_event_segments([tmp_path / "absent.jsonl", path])
+        assert [e["kind"] for e in events] == ["a"]
+
+    def test_summarize_paths_groups_segments(self, tmp_path):
+        paths = []
+        for index in range(2):
+            path = tmp_path / f"shard{index}.jsonl"
+            event = TestMultiStreamSummarize._probe(
+                index, 8, shard=f"{index}/2", pid=50 + index)
+            path.write_text(json.dumps(event) + "\n")
+            paths.append(path)
+        text = summarize_paths(paths)
+        assert "=== shard 0/2" in text and "=== shard 1/2" in text
+
+
+class TestShardLabelStamping:
+    def test_events_carry_shard_and_pid(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLedger(path, shard="1/3") as ledger:
+            ledger.emit("probe", m=8)
+        [event] = read_events(path)
+        assert event["shard"] == "1/3"
+        assert event["pid"] == os.getpid()
+
+    def test_no_shard_label_omits_field(self):
+        with RunLedger() as ledger:
+            ledger.emit("probe", m=8)
+        [event] = ledger.events
+        assert "shard" not in event
+        assert event["pid"] == os.getpid()
+
+    def test_explicit_field_wins_over_label(self):
+        # An event that names its own shard (e.g. a merge report about
+        # another shard's store) must not be overwritten by the label.
+        with RunLedger(shard="0/2") as ledger:
+            ledger.emit("shard_partial", shard="1/2")
+        [event] = ledger.events
+        assert event["shard"] == "1/2"
 
 
 class TestResultJsonRoundTrip:
