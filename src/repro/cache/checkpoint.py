@@ -64,7 +64,7 @@ class ExperimentCheckpoint:
         # Must match ExperimentResult.save_json byte-for-byte, since
         # --resume copies these bytes into --json-dir.
         payload = json.dumps(
-            result.to_dict(), indent=2, default=json_default,
+            result.to_dict(), indent=2, allow_nan=False, default=json_default,
         )
         _atomic_write_text(path, payload)
         meta: Dict[str, Any] = {
@@ -74,7 +74,8 @@ class ExperimentCheckpoint:
         }
         _atomic_write_text(
             self._meta_path(result.experiment_id),
-            json.dumps(meta, indent=2, sort_keys=True),
+            json.dumps(meta, indent=2, sort_keys=True, allow_nan=False,
+                       default=json_default),
         )
         add_count("checkpoint_save")
         emit_event("checkpoint_save", experiment=result.experiment_id,

@@ -29,6 +29,7 @@ from typing import Any, Dict, NamedTuple, Optional, Sequence, Union
 
 from ..observe.counters import add_count
 from ..observe.ledger import emit_event
+from ..sanitize.hooks import record_cache_event
 from .keys import cache_key, canonical_json
 from .store import JsonlStore
 
@@ -59,6 +60,7 @@ def _observe_lookup(kind: str, spec: Dict[str, Any],
     add_count(name)
     emit_event(name, cache_kind=kind, key=key[:16],
                m=spec.get("m"), trials=spec.get("trials"))
+    record_cache_event(name, cache_kind=kind, key=key)
 
 
 class ProbeCache:
@@ -145,6 +147,7 @@ class ProbeCache:
         }
         self._index[key] = record
         self._store.append(record)
+        record_cache_event("cache_put", cache_kind=kind, key=key)
 
     def scoped(self, **extra: Any) -> "ScopedProbeCache":
         """A view that folds ``extra`` into every spec it touches.

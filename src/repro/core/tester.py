@@ -221,7 +221,8 @@ def failure_estimate(family: SketchFamily, instance: HardInstance,
                      chunk_size: Optional[int] = None,
                      cache: Optional[Any] = None,
                      batch: Optional[int] = None,
-                     shard: Optional[Any] = None) -> BernoulliEstimate:
+                     shard: Optional[Any] = None,
+                     sanitized: bool = False) -> BernoulliEstimate:
     """Estimate ``P[Π is NOT an ε-embedding for U]``.
 
     Each trial draws ``U`` from ``instance`` and (by default) a fresh
@@ -268,7 +269,33 @@ def failure_estimate(family: SketchFamily, instance: HardInstance,
     call returns the full estimate bit-identically to a serial run.
     Requires ``cache=`` and a seed-backed ``rng``; see :mod:`repro.shard`
     for the driver.
+
+    ``sanitized=True`` runs the estimate under the determinism sanitizer
+    (:func:`repro.sanitize.sanitized_rerun`): the probe executes twice —
+    once as configured, once as a serial cache-off replay from the same
+    stream state — and any divergence in RNG stream traces or result
+    bytes raises :class:`repro.sanitize.DeterminismError`.  Incompatible
+    with ``shard=`` (a shard pass is deliberately partial; sanitize the
+    merged replay instead).
     """
+    if sanitized:
+        if shard is not None:
+            raise ValueError(
+                "sanitized= cannot be combined with shard=: a shard pass "
+                "is a deliberately partial execution — sanitize the "
+                "merged serial replay instead (see repro.sanitize)"
+            )
+        from ..sanitize.runtime import sanitized_rerun
+
+        return sanitized_rerun(
+            "failure_estimate",
+            lambda rng_, workers_, cache_: failure_estimate(
+                family, instance, epsilon, trials, rng_,
+                fresh_sketch=fresh_sketch, workers=workers_,
+                chunk_size=chunk_size, cache=cache_, batch=batch,
+            ),
+            rng=rng, workers=workers, cache=cache,
+        )
     epsilon = check_epsilon(epsilon)
     trials = check_positive_int(trials, "trials")
     batch = _check_batch(batch, fresh_sketch)
@@ -390,7 +417,8 @@ def distortion_samples(family: SketchFamily, instance: HardInstance,
                        chunk_size: Optional[int] = None,
                        cache: Optional[Any] = None,
                        batch: Optional[int] = None,
-                       shard: Optional[Any] = None) -> np.ndarray:
+                       shard: Optional[Any] = None,
+                       sanitized: bool = False) -> np.ndarray:
     """Sampled distortions (one per trial) — the full failure CDF.
 
     Shares :func:`failure_estimate`'s trial engine and determinism
@@ -404,8 +432,27 @@ def distortion_samples(family: SketchFamily, instance: HardInstance,
     runs one slice of an N-way fan-out and raises :class:`ShardPending`
     until a merged cache resolves the probe, exactly as in
     :func:`failure_estimate` (the folded record concatenates slice
-    values in span order — the serial sample order).
+    values in span order — the serial sample order).  ``sanitized``
+    re-executes under the determinism sanitizer exactly as in
+    :func:`failure_estimate` (incompatible with ``shard=``).
     """
+    if sanitized:
+        if shard is not None:
+            raise ValueError(
+                "sanitized= cannot be combined with shard=: a shard pass "
+                "is a deliberately partial execution — sanitize the "
+                "merged serial replay instead (see repro.sanitize)"
+            )
+        from ..sanitize.runtime import sanitized_rerun
+
+        return sanitized_rerun(
+            "distortion_samples",
+            lambda rng_, workers_, cache_: distortion_samples(
+                family, instance, trials, rng_, workers=workers_,
+                chunk_size=chunk_size, cache=cache_, batch=batch,
+            ),
+            rng=rng, workers=workers, cache=cache,
+        )
     trials = check_positive_int(trials, "trials")
     batch = _check_batch(batch, fresh_sketch=True)
     batched = batch is not None and batch > 1
@@ -530,7 +577,8 @@ def minimal_m(family: SketchFamily, instance: HardInstance, epsilon: float,
               chunk_size: Optional[int] = None,
               cache: Optional[Any] = None,
               batch: Optional[int] = None,
-              shard: Optional[Any] = None) -> MinimalMResult:
+              shard: Optional[Any] = None,
+              sanitized: bool = False) -> MinimalMResult:
     """Search for the minimal ``m`` with failure rate ≤ ``δ``.
 
     Exponential search upward from ``m_min`` (factor ``growth``) until a
@@ -592,7 +640,32 @@ def minimal_m(family: SketchFamily, instance: HardInstance, epsilon: float,
     shard advances one probe per merge round and the final replay against
     the fully merged store reproduces the serial search bit for bit —
     requires ``cache=`` and a seed-backed ``rng``.
+
+    ``sanitized`` re-executes the whole search under the determinism
+    sanitizer exactly as in :func:`failure_estimate` (incompatible with
+    ``shard=``): the adaptive probe schedule, being a deterministic
+    function of probe outcomes, must replay identically serial and
+    cache-off.
     """
+    if sanitized:
+        if shard is not None:
+            raise ValueError(
+                "sanitized= cannot be combined with shard=: a shard pass "
+                "is a deliberately partial execution — sanitize the "
+                "merged serial replay instead (see repro.sanitize)"
+            )
+        from ..sanitize.runtime import sanitized_rerun
+
+        return sanitized_rerun(
+            "minimal_m",
+            lambda rng_, workers_, cache_: minimal_m(
+                family, instance, epsilon, delta, trials=trials,
+                m_min=m_min, m_max=m_max, growth=growth,
+                decision=decision, rng=rng_, workers=workers_,
+                chunk_size=chunk_size, cache=cache_, batch=batch,
+            ),
+            rng=rng, workers=workers, cache=cache,
+        )
     epsilon = check_epsilon(epsilon)
     delta = check_probability(delta, "delta")
     m_min = check_positive_int(m_min, "m_min")

@@ -133,6 +133,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="round limit for the in-process shard/merge loop "
              "(default 256)",
     )
+    parser.add_argument(
+        "--batch", type=int, default=None, metavar="B",
+        help="fuse B sketch draws per dispatch via the batched kernel "
+             "engine (1 is bit-identical to the serial path; larger "
+             "values use the engine's own deterministic accumulation "
+             "order — see docs/perf.md)",
+    )
     return parser
 
 
@@ -142,6 +149,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.resume and args.cache_dir is None:
         parser.error("--resume requires --cache-dir")
+    if args.batch is not None and args.batch < 1:
+        parser.error(f"--batch must be positive, got {args.batch}")
     if args.shard_index is not None and args.shards is None:
         parser.error("--shard-index requires --shards")
     if args.shards is not None:
@@ -216,7 +225,7 @@ def main(argv=None) -> int:
                         return run_experiment(
                             eid, scale=args.scale, rng=args.seed,
                             workers=args.workers, cache=shard_cache,
-                            shard=shard,
+                            shard=shard, batch=args.batch,
                         )
 
                     if args.shard_index is not None:
@@ -245,6 +254,7 @@ def main(argv=None) -> int:
                     result = run_experiment(
                         eid, scale=args.scale, rng=args.seed,
                         workers=args.workers, cache=cache,
+                        batch=args.batch,
                     )
                 if checkpoints is not None:
                     checkpoints.save(

@@ -83,7 +83,8 @@ class ColumnNormExperiment(Experiment):
             family = ScaledCountSketch(m=m, n=n, c=c)
             est = failure_estimate(
                 family, instance, epsilon, trials=trials,
-                rng=spawn(rng), workers=self.workers, cache=self.cache, shard=self.shard,
+                rng=spawn(rng), workers=self.workers, cache=self.cache,
+                shard=self.shard, batch=self.batch,
             )
             rel = abs(c - 1.0) / epsilon
             table.add_row([c, rel, est.point, est.low, est.high])

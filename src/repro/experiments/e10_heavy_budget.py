@@ -81,7 +81,8 @@ class HeavyBudgetExperiment(Experiment):
             below = float(np.mean(np.sqrt(norms2) < 1.0 - epsilon))
             est = failure_estimate(
                 family, instance, epsilon, trials=trials,
-                rng=spawn(rng), workers=self.workers, cache=self.cache, shard=self.shard,
+                rng=spawn(rng), workers=self.workers, cache=self.cache,
+                shard=self.shard, batch=self.batch,
             )
             if name.startswith("Deflated"):
                 deflated_fail = min(deflated_fail, est.point)

@@ -70,11 +70,13 @@ class ExpectedSparsityExperiment(Experiment):
             jl = SparseJL(m=m, n=n, q=min(0.5, s / m))
             est_osnap = failure_estimate(
                 osnap, instance, epsilon, trials=trials,
-                rng=spawn(rng), workers=self.workers, cache=self.cache, shard=self.shard,
+                rng=spawn(rng), workers=self.workers, cache=self.cache,
+                shard=self.shard, batch=self.batch,
             )
             est_jl = failure_estimate(
                 jl, instance, epsilon, trials=trials,
-                rng=spawn(rng), workers=self.workers, cache=self.cache, shard=self.shard,
+                rng=spawn(rng), workers=self.workers, cache=self.cache,
+                shard=self.shard, batch=self.batch,
             )
             jl_min_failure = min(jl_min_failure, est_jl.point)
             osnap_final = est_osnap.point
@@ -96,7 +98,8 @@ class ExpectedSparsityExperiment(Experiment):
             jl = SparseJL(m=m, n=n, q=min(1.0, s_exp / m))
             est = failure_estimate(
                 jl, instance, epsilon, trials=trials,
-                rng=spawn(rng), workers=self.workers, cache=self.cache, shard=self.shard,
+                rng=spawn(rng), workers=self.workers, cache=self.cache,
+                shard=self.shard, batch=self.batch,
             )
             sweep_table.add_row(
                 [s_exp, 1.0 / math.sqrt(s_exp), est.point]

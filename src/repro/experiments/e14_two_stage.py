@@ -56,7 +56,8 @@ class TwoStageExperiment(Experiment):
         single = CountSketch(m=d, n=n)
         single_search = minimal_m(
             single, instance, epsilon, delta, trials=trials, m_min=d,
-            rng=spawn(rng), workers=self.workers, cache=self.cache, shard=self.shard,
+            rng=spawn(rng), workers=self.workers, cache=self.cache,
+            shard=self.shard, batch=self.batch,
         )
 
         # Two-stage: inner CountSketch at a comfortable m1 >> d^2, outer
@@ -67,7 +68,8 @@ class TwoStageExperiment(Experiment):
         )
         composed_search = minimal_m(
             composed, instance, epsilon, delta, trials=trials, m_min=d,
-            rng=spawn(rng), workers=self.workers, cache=self.cache, shard=self.shard,
+            rng=spawn(rng), workers=self.workers, cache=self.cache,
+            shard=self.shard, batch=self.batch,
         )
 
         table = TextTable(

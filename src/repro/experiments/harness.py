@@ -124,7 +124,8 @@ class ExperimentResult:
         """Write the result as JSON; returns the path written."""
         path = Path(path)
         path.write_text(
-            json.dumps(self.to_dict(), indent=2, default=json_default)
+            json.dumps(self.to_dict(), indent=2, allow_nan=False,
+                       default=json_default)
         )
         return path
 
@@ -188,6 +189,9 @@ class Experiment(abc.ABC):
     _cache = None
     #: This run's shard identity (or ``None``); set by :meth:`run`.
     _shard: Optional[ShardSpec] = None
+    #: Batched-trial width for ``failure_estimate`` (or ``None``); set by
+    #: :meth:`run`.
+    _batch: Optional[int] = None
 
     @property
     def workers(self) -> int:
@@ -224,8 +228,21 @@ class Experiment(abc.ABC):
         """
         return self._shard
 
+    @property
+    def batch(self) -> Optional[int]:
+        """Batched-trial width for this run's trial loops (or ``None``).
+
+        Experiment implementations forward this as the ``batch=`` argument
+        of ``failure_estimate`` / ``minimal_m``; ``None`` (and ``1``)
+        delegate bitwise to the serial trial path, while ``batch > 1``
+        fuses that many sketch draws per dispatch (a distinct, but still
+        deterministic, accumulation order — see ``docs/perf.md``).
+        """
+        return self._batch
+
     def run(self, scale: float = 1.0, rng: RngLike = None,
-            workers: int = 1, cache=None, shard=None) -> ExperimentResult:
+            workers: int = 1, cache=None, shard=None,
+            batch: Optional[int] = None) -> ExperimentResult:
         """Run the experiment; ``scale`` shrinks or grows the workload.
 
         ``workers`` parallelizes the experiment's Monte-Carlo trial loops
@@ -252,9 +269,12 @@ class Experiment(abc.ABC):
                 "shard= requires cache=: shard passes exchange probe "
                 "partials through the probe cache (see repro.shard)"
             )
+        if batch is not None and batch < 1:
+            raise ValueError(f"batch must be positive, got {batch}")
         self._workers = workers
         self._cache = cache
         self._shard = shard
+        self._batch = batch
         emit_event(
             "experiment_start", experiment=self.experiment_id,
             title=self.title, scale=scale, workers=workers,
@@ -266,6 +286,7 @@ class Experiment(abc.ABC):
         finally:
             self._cache = None
             self._shard = None
+            self._batch = None
         result.elapsed_seconds = time.perf_counter() - started
         delta = counters().diff(before)
         for name in sorted(delta):

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Type
+from typing import Dict, List, Optional, Type
 
 from ..utils.rng import RngLike
 from .e01_countsketch_threshold import CountSketchThresholdExperiment
@@ -71,7 +71,8 @@ def get_experiment(experiment_id: str) -> Experiment:
 def run_experiment(experiment_id: str, scale: float = 1.0,
                    rng: RngLike = None,
                    workers: int = 1, cache=None,
-                   shard=None) -> ExperimentResult:
+                   shard=None,
+                   batch: Optional[int] = None) -> ExperimentResult:
     """Run one experiment by id.
 
     ``workers`` parallelizes its trial loops; ``cache`` (a
@@ -79,18 +80,23 @@ def run_experiment(experiment_id: str, scale: float = 1.0,
     neither changes any result at a fixed seed.  ``shard`` (a
     :class:`~repro.utils.parallel.ShardSpec` or ``(index, count)`` pair)
     runs one shard pass of an N-way fan-out; see :mod:`repro.shard`.
+    ``batch`` switches Monte-Carlo trial loops onto the batched kernel
+    engine (``None``/``1`` = the serial per-trial path, bit-identically;
+    see :attr:`repro.experiments.harness.Experiment.batch`).
     """
     return get_experiment(experiment_id).run(
-        scale=scale, rng=rng, workers=workers, cache=cache, shard=shard
+        scale=scale, rng=rng, workers=workers, cache=cache, shard=shard,
+        batch=batch,
     )
 
 
 def run_all(scale: float = 1.0, rng: RngLike = None,
             workers: int = 1, cache=None,
-            shard=None) -> List[ExperimentResult]:
+            shard=None,
+            batch: Optional[int] = None) -> List[ExperimentResult]:
     """Run every experiment, returning results in order."""
     return [
         run_experiment(eid, scale=scale, rng=rng, workers=workers,
-                       cache=cache, shard=shard)
+                       cache=cache, shard=shard, batch=batch)
         for eid in experiment_ids()
     ]

@@ -31,12 +31,15 @@ from .engine import (
     lint_source,
 )
 from .rules import RULES, FileContext, Rule, Violation, all_codes, classify_path
-from .suppressions import Suppressions, parse_suppressions
+from .suppressions import Directive, Suppressions, parse_suppressions
+from .visitor import ModuleSummary, summarize_module
 
 __all__ = [
     "DEFAULT_BASELINE_NAME",
     "DEFAULT_EXCLUDES",
+    "Directive",
     "FileContext",
+    "ModuleSummary",
     "RULES",
     "Rule",
     "Suppressions",
@@ -52,5 +55,6 @@ __all__ = [
     "main",
     "parse_suppressions",
     "partition_by_baseline",
+    "summarize_module",
     "write_baseline",
 ]

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import ast
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
 from pathlib import Path
 from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence
 
@@ -70,6 +72,10 @@ def _filter_codes(violations: Iterable[Violation],
     return kept
 
 
+def _render_codes(codes: FrozenSet[str]) -> str:
+    return "all rules" if "*" in codes else ", ".join(sorted(codes))
+
+
 def lint_source(source: str, path: str, *,
                 context: Optional[FileContext] = None,
                 select: Optional[FrozenSet[str]] = None,
@@ -79,6 +85,12 @@ def lint_source(source: str, path: str, *,
     The path (or an explicit ``context``) decides which path-scoped rules
     apply, so callers — the fixture tests in particular — can lint any
     snippet under any role by passing a virtual path.
+
+    Suppression directives are attributed: each suppressed violation marks
+    the directive(s) that silenced it, and any directive left unmatched is
+    stale and reported as RPL901 at the directive's own location (RPL901
+    itself is never subject to suppression — a stale directive cannot hide
+    its own staleness).
     """
     if context is None:
         context = classify_path(path)
@@ -100,10 +112,31 @@ def lint_source(source: str, path: str, *,
     violations = collect_violations(
         tree, context, source_lines=source.splitlines()
     )
-    visible = [
-        violation for violation in violations
-        if not suppressions.is_suppressed(violation.line, violation.code)
-    ]
+    lines = source.splitlines()
+    used: set = set()
+    visible: List[Violation] = []
+    for violation in violations:
+        matched = suppressions.matching(violation.line, violation.code)
+        if matched:
+            used.update(matched)
+        else:
+            visible.append(violation)
+    for index, directive in enumerate(suppressions.directives):
+        if index in used:
+            continue
+        text = ""
+        if 1 <= directive.line <= len(lines):
+            text = lines[directive.line - 1].rstrip("\n")
+        visible.append(Violation(
+            path=context.path, line=directive.line, col=directive.col,
+            code="RPL901",
+            message=(
+                f"stale suppression: `{directive.kind}` of "
+                f"{_render_codes(directive.codes)} matches no violation; "
+                f"remove the directive"
+            ),
+            source_line=text,
+        ))
     return _filter_codes(visible, select, ignore)
 
 
@@ -121,18 +154,36 @@ def lint_file(path: Path, *,
     return lint_source(source, str(path), select=select, ignore=ignore)
 
 
+def _lint_file_task(path_str: str,
+                    select: Optional[FrozenSet[str]],
+                    ignore: Optional[FrozenSet[str]]) -> List[Violation]:
+    """Picklable per-file unit of work for ``lint_paths(jobs=N)``."""
+    return lint_file(Path(path_str), select=select, ignore=ignore)
+
+
 def lint_paths(paths: Sequence[str], *,
                excludes: Sequence[str] = DEFAULT_EXCLUDES,
                select: Optional[FrozenSet[str]] = None,
-               ignore: Optional[FrozenSet[str]] = None
+               ignore: Optional[FrozenSet[str]] = None,
+               jobs: int = 1,
                ) -> "tuple[List[Violation], int]":
     """Lint every Python file under ``paths``.
 
+    ``jobs > 1`` fans files out over a process pool; results are gathered
+    in discovery order, so output is byte-identical to a serial run.
+
     Returns ``(violations, files_checked)``.
     """
+    if jobs < 1:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    files = list(iter_python_files(paths, excludes))
     violations: List[Violation] = []
-    files_checked = 0
-    for path in iter_python_files(paths, excludes):
-        files_checked += 1
-        violations.extend(lint_file(path, select=select, ignore=ignore))
-    return violations, files_checked
+    if jobs == 1 or len(files) <= 1:
+        for path in files:
+            violations.extend(lint_file(path, select=select, ignore=ignore))
+        return violations, len(files)
+    task = partial(_lint_file_task, select=select, ignore=ignore)
+    with ProcessPoolExecutor(max_workers=min(jobs, len(files))) as pool:
+        for found in pool.map(task, [str(path) for path in files]):
+            violations.extend(found)
+    return violations, len(files)

@@ -18,6 +18,17 @@ def report_text(new: List[Violation], grandfathered: List[Violation],
         stream.write(violation.render() + "\n")
         if violation.source_line.strip():
             stream.write(f"    {violation.source_line.strip()}\n")
+    stale = sorted(
+        (v for v in new if v.code == "RPL901"),
+        key=lambda v: (v.path, v.line, v.col),
+    )
+    if stale:
+        stream.write(
+            "\nstale suppressions — delete these directives to fix:\n"
+        )
+        for violation in stale:
+            stream.write(f"  {violation.path}:{violation.line}: "
+                         f"{violation.source_line.strip()}\n")
     counts = Counter(violation.code for violation in new)
     summary = ", ".join(f"{code}×{n}" for code, n in sorted(counts.items()))
     if new:

@@ -22,6 +22,7 @@ __all__ = [
     "all_codes",
     "get_rule",
     "classify_path",
+    "is_shard_primitive_module",
     "normalize_codes",
 ]
 
@@ -65,18 +66,32 @@ class FileContext:
     * ``is_hot`` — library module under ``sketch/``, ``core/`` or
       ``linalg/``: RPL005 (sparse work inside loops) applies.
     * ``is_trial_engine`` — library module under ``core/``,
-      ``experiments/`` or ``utils/``: RPL007 (eager ``sample``) applies.
+      ``experiments/`` or ``utils/``: RPL007 (eager ``sample``) applies,
+      and RPL105 (batch/shard identity delegation) applies.
+    * ``is_result_io`` — library module under ``cache/``, ``observe/``,
+      ``experiments/`` or ``core/``, whose JSON writes feed caches,
+      ledgers, or result files: RPL101 (strict JSON emission) applies.
     """
 
     path: str
     is_test: bool = False
     is_hot: bool = False
     is_trial_engine: bool = False
+    is_result_io: bool = False
 
 
 _TEST_PARTS = frozenset({"tests", "benchmarks"})
 _HOT_PARTS = frozenset({"sketch", "core", "linalg"})
 _TRIAL_PARTS = frozenset({"core", "experiments", "utils"})
+_RESULT_IO_PARTS = frozenset({"cache", "observe", "experiments", "core"})
+
+#: Library files allowed to hand-roll shard/span arithmetic: these *are*
+#: the sanctioned primitives (``shard_spans``, ``spawn_slice``) RPL103
+#: tells everyone else to call.
+_SHARD_PRIMITIVE_SUFFIXES = (
+    "utils/parallel.py",
+    "utils/rng.py",
+)
 
 
 def classify_path(path: str) -> FileContext:
@@ -91,7 +106,14 @@ def classify_path(path: str) -> FileContext:
         is_test=is_test,
         is_hot=is_library and bool(parts & _HOT_PARTS),
         is_trial_engine=is_library and bool(parts & _TRIAL_PARTS),
+        is_result_io=is_library and bool(parts & _RESULT_IO_PARTS),
     )
+
+
+def is_shard_primitive_module(path: str) -> bool:
+    """True for the modules that implement the shard/span primitives."""
+    posix = str(path).replace("\\", "/")
+    return posix.endswith(_SHARD_PRIMITIVE_SUFFIXES)
 
 
 _RULE_LIST: Tuple[Rule, ...] = (
@@ -187,10 +209,100 @@ _RULE_LIST: Tuple[Rule, ...] = (
         scope="tests and benchmarks",
     ),
     Rule(
+        code="RPL101",
+        name="lenient-json-emission",
+        summary="json.dump/dumps without allow_nan=False plus a numpy-safe "
+                "default",
+        rationale=(
+            "PR 6's NaN JSONL bug: json.dumps happily writes nonstandard "
+            "NaN/Infinity tokens that only Python's lenient parser reads "
+            "back, and numpy scalars crash the encoder after the run has "
+            "already finished.  Every JSON write that feeds a cache store, "
+            "ledger, checkpoint, or result file must pass allow_nan=False "
+            "and handle numpy payloads (default=json_default or a "
+            "to_builtin/canonical_json wrapper)."
+        ),
+        scope="result-IO library modules (cache/, observe/, experiments/, "
+              "core/)",
+    ),
+    Rule(
+        code="RPL102",
+        name="spec-key-omission",
+        summary="cache-relevant parameter not reflected in the cache spec "
+                "payload",
+        rationale=(
+            "PR 6's effective-m drift: failure_estimate grew a batch= "
+            "parameter that changed results but was missing from the probe "
+            "spec, so batched and serial runs collided on one cache key.  "
+            "A function that both takes a result-shaping parameter (batch, "
+            "trials, decision, confidence) and talks to a probe cache must "
+            "mention that parameter as a spec dict key or keyword argument."
+        ),
+        scope="library code",
+    ),
+    Rule(
+        code="RPL103",
+        name="hand-rolled-shard-arithmetic",
+        summary="shard/span index arithmetic outside shard_spans/spawn_slice",
+        rationale=(
+            "PR 7's shard-span overlap: ad-hoc `shard_index * per_shard` "
+            "arithmetic produced overlapping seed slices under uneven "
+            "division.  All shard partitioning goes through "
+            "repro.utils.parallel.shard_spans and repro.utils.rng."
+            "spawn_slice, which are batch-aligned and tested for exact "
+            "tiling."
+        ),
+        scope="library code except the primitives themselves "
+              "(utils/parallel.py, utils/rng.py)",
+    ),
+    Rule(
+        code="RPL104",
+        name="counter-prefix-contract",
+        summary="bookkeeping counter outside the NON_RESULT_COUNTER_PREFIXES "
+                "naming contract",
+        rationale=(
+            "count_* metrics on ExperimentResult must stay bit-identical "
+            "across cache states and shard layouts, so bookkeeping counters "
+            "are excluded by name prefix (cache_, checkpoint_, shard_ — "
+            "NON_RESULT_COUNTER_PREFIXES in experiments/harness.py).  A "
+            "counter named `hits_cache` or `count_shard_x` dodges the "
+            "filter and leaks execution-dependent values into results."
+        ),
+        scope="library code",
+    ),
+    Rule(
+        code="RPL105",
+        name="batch-shard-identity-bypass",
+        summary="batch=/shard= parameter used computationally without an "
+                "identity-case guard",
+        rationale=(
+            "batch=None/1 must delegate bitwise to the serial path and "
+            "shard=None to the unsharded one (PR 6/7 contract: the fast "
+            "path may differ in the last ulp only when explicitly opted "
+            "into).  A function that computes with its batch/shard "
+            "parameter must first normalize it (_check_batch, "
+            "normalize_shard, or an explicit None/1 comparison) or purely "
+            "forward it."
+        ),
+        scope="trial-engine library modules (core/, experiments/, utils/)",
+    ),
+    Rule(
         code="RPL900",
         name="syntax-error",
         summary="file could not be parsed",
         rationale="A file that does not parse cannot be linted or imported.",
+    ),
+    Rule(
+        code="RPL901",
+        name="stale-suppression",
+        summary="repro-lint suppression directive that suppresses nothing",
+        rationale=(
+            "A `# repro-lint: disable` comment that no longer matches any "
+            "violation is dead weight: it hides future regressions at that "
+            "site and misleads readers into thinking the rule still fires "
+            "there.  Remove the directive (the text reporter lists every "
+            "stale one)."
+        ),
     ),
 )
 

@@ -12,6 +12,11 @@ Three forms are recognized, all case-sensitive on the rule codes:
 ``disable`` / ``disable-next-line`` / ``disable-file`` without ``=CODES``
 suppress *every* rule at that granularity; prefer naming codes so future
 rules still fire.
+
+Every parsed directive is also kept as a :class:`Directive` record, so
+the engine can attribute each suppressed violation back to the directive
+that silenced it — a directive that silences *nothing* is stale and is
+itself reported (RPL901).
 """
 
 from __future__ import annotations
@@ -19,9 +24,9 @@ from __future__ import annotations
 import io
 import re
 import tokenize
-from typing import Dict, FrozenSet, List, NamedTuple, Set
+from typing import Dict, FrozenSet, List, NamedTuple, Optional, Set, Tuple
 
-__all__ = ["Suppressions", "parse_suppressions"]
+__all__ = ["Directive", "Suppressions", "parse_suppressions"]
 
 _DIRECTIVE = re.compile(
     r"#\s*repro-lint:\s*"
@@ -33,11 +38,32 @@ _DIRECTIVE = re.compile(
 ALL = frozenset({"*"})
 
 
+class Directive(NamedTuple):
+    """One suppression comment at a concrete source location.
+
+    ``target`` is the line whose violations the directive silences
+    (``None`` for ``disable-file``, which silences the whole file).
+    """
+
+    line: int
+    col: int
+    kind: str
+    codes: FrozenSet[str]
+    target: Optional[int]
+
+    def matches(self, line: int, code: str) -> bool:
+        """Whether this directive suppresses ``code`` at ``line``."""
+        if "*" not in self.codes and code not in self.codes:
+            return False
+        return self.target is None or self.target == line
+
+
 class Suppressions(NamedTuple):
     """Parsed suppression directives for one file."""
 
     by_line: Dict[int, FrozenSet[str]]
     file_wide: FrozenSet[str]
+    directives: Tuple[Directive, ...] = ()
 
     def is_suppressed(self, line: int, code: str) -> bool:
         if "*" in self.file_wide or code in self.file_wide:
@@ -46,6 +72,11 @@ class Suppressions(NamedTuple):
         if codes is None:
             return False
         return "*" in codes or code in codes
+
+    def matching(self, line: int, code: str) -> List[int]:
+        """Indices of every directive that suppresses ``code`` at ``line``."""
+        return [index for index, directive in enumerate(self.directives)
+                if directive.matches(line, code)]
 
 
 def _parse_codes(raw: object) -> FrozenSet[str]:
@@ -65,6 +96,7 @@ def parse_suppressions(source: str) -> Suppressions:
     """
     by_line: Dict[int, Set[str]] = {}
     file_wide: Set[str] = set()
+    directives: List[Directive] = []
     try:
         tokens: List[tokenize.TokenInfo] = list(
             tokenize.generate_tokens(io.StringIO(source).readline)
@@ -81,11 +113,19 @@ def parse_suppressions(source: str) -> Suppressions:
         kind = match.group("kind")
         if kind == "disable-file":
             file_wide.update(codes)
+            target: Optional[int] = None
         elif kind == "disable-next-line":
-            by_line.setdefault(token.start[0] + 1, set()).update(codes)
+            target = token.start[0] + 1
+            by_line.setdefault(target, set()).update(codes)
         else:
-            by_line.setdefault(token.start[0], set()).update(codes)
+            target = token.start[0]
+            by_line.setdefault(target, set()).update(codes)
+        directives.append(Directive(
+            line=token.start[0], col=token.start[1], kind=kind,
+            codes=codes, target=target,
+        ))
     return Suppressions(
         by_line={line: frozenset(codes) for line, codes in by_line.items()},
         file_wide=frozenset(file_wide),
+        directives=tuple(directives),
     )

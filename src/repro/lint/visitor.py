@@ -1,16 +1,28 @@
 """AST visitor implementing the ``RPL`` determinism / sparse-pitfall rules.
 
-One :class:`LintVisitor` walks a parsed module and emits
-:class:`~repro.lint.rules.Violation` records.  Path-sensitive rules are
-gated on the :class:`~repro.lint.rules.FileContext` computed from the
-file's (possibly virtual) path, so fixtures can exercise any scope by
-being linted under a synthetic path.
+Linting a module is a **two-pass** analysis:
 
-The visitor is purely syntactic with two small semantic aids, both scoped
-to the enclosing function (or module) body:
+1. :func:`summarize_module` walks every module-level function once and
+   computes, by fixpoint over the module-local call graph, which
+   functions *return rng-drawn values* — ``def pick(gen): return
+   gen.integers(2**32)`` and any helper that merely forwards such a
+   return.  This is the call-graph taint model: a draw is tracked across
+   helper-function boundaries instead of only within one body.
+2. :class:`LintVisitor` walks the module emitting
+   :class:`~repro.lint.rules.Violation` records, consulting the pass-1
+   summary wherever a rule cares whether an expression carries drawn
+   values (RPL002's seed-consumer check in particular).
+
+Path-sensitive rules are gated on the
+:class:`~repro.lint.rules.FileContext` computed from the file's (possibly
+virtual) path, so fixtures can exercise any scope by being linted under a
+synthetic path.
+
+Within pass 2 the visitor keeps two per-scope name taints:
 
 * *draw taint* (RPL002) — names assigned from expressions that draw values
-  off a generator (``x = parent.integers(...)``) are remembered, so
+  off a generator (``x = parent.integers(...)``, or ``x = helper(...)``
+  where pass 1 marked ``helper`` draw-returning) are remembered, so
   ``default_rng(x)`` is caught even when the draw is not nested directly
   in the seeding call;
 * *sparse taint* (RPL004) — names assigned from sparse constructors or
@@ -21,11 +33,12 @@ to the enclosing function (or module) body:
 from __future__ import annotations
 
 import ast
-from typing import Dict, List, Optional, Set
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from .rules import FileContext, Violation
+from .rules import FileContext, Violation, is_shard_primitive_module
 
-__all__ = ["LintVisitor", "collect_violations"]
+__all__ = ["LintVisitor", "ModuleSummary", "collect_violations",
+           "summarize_module"]
 
 #: ``np.random.<name>`` / ``numpy.random.<name>`` calls that mutate or read
 #: the hidden global state, or draw from it.
@@ -76,6 +89,20 @@ _SPARSE_FACTORY_FUNCS = frozenset({
 _NUMPY_ROOTS = frozenset({"np", "numpy"})
 _SPARSE_ROOTS = frozenset({"sp", "sparse", "scipy"})
 
+#: Parameters that shape a probe result and therefore must appear in its
+#: cache spec (RPL102).  ``seed`` material is covered separately by the
+#: fingerprint the spec already embeds.
+_CACHE_RELEVANT_PARAMS = frozenset({"batch", "trials", "decision",
+                                    "confidence"})
+
+#: Counter words with a canonical ``<word>_`` prefix (RPL104); the prefix
+#: set mirrors ``NON_RESULT_COUNTER_PREFIXES`` in experiments/harness.py.
+_COUNTER_PREFIX_WORDS = ("cache", "checkpoint", "shard")
+
+#: Guard-function name fragments that normalize batch/shard identity
+#: cases (RPL105).
+_IDENTITY_GUARD_FRAGMENTS = ("check_batch", "normalize_shard")
+
 
 def _dotted(node: ast.AST) -> Optional[str]:
     """``a.b.c`` for a Name/Attribute chain, else ``None``."""
@@ -96,17 +123,6 @@ def _literal(node: ast.AST) -> Optional[ast.Constant]:
     return node if isinstance(node, ast.Constant) else None
 
 
-def _contains_draw_call(node: ast.AST) -> bool:
-    """Whether any sub-expression draws from a generator stream."""
-    for sub in ast.walk(node):
-        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
-            if sub.func.attr in _DRAW_METHODS:
-                # ``np.random.integers`` does not exist; any dotted chain
-                # ending in a draw method is generator-shaped enough.
-                return True
-    return False
-
-
 def _is_super_receiver(func: ast.AST) -> bool:
     """Whether ``func`` is ``super().sample``-shaped."""
     return (
@@ -115,6 +131,132 @@ def _is_super_receiver(func: ast.AST) -> bool:
         and isinstance(func.value.func, ast.Name)
         and func.value.func.id == "super"
     )
+
+
+def _param_names(node: ast.AST) -> List[str]:
+    """All parameter names of a function definition node."""
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return []
+    arguments = node.args
+    params = list(arguments.posonlyargs) + list(arguments.args) \
+        + list(arguments.kwonlyargs)
+    if arguments.vararg is not None:
+        params.append(arguments.vararg)
+    if arguments.kwarg is not None:
+        params.append(arguments.kwarg)
+    return [param.arg for param in params]
+
+
+# -- pass 1: module-level call-graph draw summaries -----------------------
+
+
+class ModuleSummary:
+    """Pass-1 facts about a module, consumed by :class:`LintVisitor`.
+
+    ``draw_returning`` holds the names of module-level functions whose
+    return value derives from a generator draw — directly, or through
+    calls to other draw-returning functions in the same module (computed
+    as a fixpoint over the local call graph).
+    """
+
+    def __init__(self, draw_returning: FrozenSet[str] = frozenset()) -> None:
+        self.draw_returning = draw_returning
+
+    def __repr__(self) -> str:
+        return f"ModuleSummary(draw_returning={sorted(self.draw_returning)})"
+
+
+def _direct_draw(node: ast.AST) -> bool:
+    """Whether ``node`` contains a generator-method draw, ignoring local
+    function calls (those are resolved by the fixpoint)."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+            if sub.func.attr in _DRAW_METHODS:
+                return True
+    return False
+
+
+def _local_calls(node: ast.AST, local_names: Set[str]) -> Set[str]:
+    """Module-local functions called by bare name anywhere under ``node``."""
+    found: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name) \
+                and sub.func.id in local_names:
+            found.add(sub.func.id)
+    return found
+
+
+def _function_return_facts(
+    func: ast.AST, local_names: Set[str],
+) -> Tuple[bool, Set[str]]:
+    """``(returns_draw_directly, local functions feeding its returns)``.
+
+    A linear scan keeps per-name facts: a name assigned from a
+    draw-containing expression is draw-tainted; a name assigned from an
+    expression calling local functions inherits those as dependencies.
+    Returns of tainted names (or draw-containing expressions) make the
+    function directly draw-returning; returns touching dependency-carrying
+    names defer to the fixpoint.
+    """
+    tainted: Set[str] = set()
+    deps_of: Dict[str, Set[str]] = {}
+    returns_draw = False
+    return_deps: Set[str] = set()
+    for sub in ast.walk(func):
+        if isinstance(sub, ast.Assign):
+            targets = [t.id for t in sub.targets if isinstance(t, ast.Name)]
+            if not targets:
+                continue
+            value_draws = _direct_draw(sub.value)
+            value_deps = _local_calls(sub.value, local_names)
+            for name in [n for n in ast.walk(sub.value)
+                         if isinstance(n, ast.Name)]:
+                if name.id in tainted:
+                    value_draws = True
+                value_deps |= deps_of.get(name.id, set())
+            for target in targets:
+                if value_draws:
+                    tainted.add(target)
+                else:
+                    tainted.discard(target)
+                deps_of[target] = value_deps
+        elif isinstance(sub, ast.Return) and sub.value is not None:
+            if _direct_draw(sub.value):
+                returns_draw = True
+            return_deps |= _local_calls(sub.value, local_names)
+            for name in [n for n in ast.walk(sub.value)
+                         if isinstance(n, ast.Name)]:
+                if name.id in tainted:
+                    returns_draw = True
+                return_deps |= deps_of.get(name.id, set())
+    return returns_draw, return_deps
+
+
+def summarize_module(tree: ast.AST) -> ModuleSummary:
+    """Pass 1: which module-level functions return rng-drawn values."""
+    functions: Dict[str, ast.AST] = {}
+    for node in getattr(tree, "body", []):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions[node.name] = node
+    local_names = set(functions)
+    direct: Dict[str, bool] = {}
+    deps: Dict[str, Set[str]] = {}
+    for name, func in functions.items():
+        direct[name], deps[name] = _function_return_facts(func, local_names)
+    draw_returning = {name for name, flag in direct.items() if flag}
+    changed = True
+    while changed:
+        changed = False
+        for name in functions:
+            if name in draw_returning:
+                continue
+            if deps[name] & draw_returning:
+                draw_returning.add(name)
+                changed = True
+    return ModuleSummary(frozenset(draw_returning))
+
+
+# -- pass 2: the lint walk ------------------------------------------------
 
 
 class _Scope:
@@ -126,13 +268,15 @@ class _Scope:
 
 
 class LintVisitor(ast.NodeVisitor):
-    """Single-pass visitor emitting violations for every enabled rule."""
+    """Pass-2 visitor emitting violations for every enabled rule."""
 
     def __init__(self, context: FileContext,
-                 source_lines: Optional[List[str]] = None) -> None:
+                 source_lines: Optional[List[str]] = None,
+                 summary: Optional[ModuleSummary] = None) -> None:
         self.context = context
         self.violations: List[Violation] = []
         self._lines = source_lines or []
+        self._summary = summary or ModuleSummary()
         self._scopes: List[_Scope] = [_Scope()]
         self._loop_depth = 0
 
@@ -154,6 +298,9 @@ class LintVisitor(ast.NodeVisitor):
         return self._scopes[-1]
 
     def _visit_function(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._check_spec_keys(node)
+            self._check_identity_delegation(node)
         self._scopes.append(_Scope())
         outer_depth, self._loop_depth = self._loop_depth, 0
         self.generic_visit(node)
@@ -175,6 +322,23 @@ class LintVisitor(ast.NodeVisitor):
 
     # -- taint tracking ---------------------------------------------------
 
+    def _contains_draw_call(self, node: ast.AST) -> bool:
+        """Whether any sub-expression draws from a generator stream —
+        directly via a draw method, or through a module-local function
+        pass 1 marked draw-returning."""
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            if isinstance(sub.func, ast.Attribute) and \
+                    sub.func.attr in _DRAW_METHODS:
+                # ``np.random.integers`` does not exist; any dotted chain
+                # ending in a draw method is generator-shaped enough.
+                return True
+            if isinstance(sub.func, ast.Name) and \
+                    sub.func.id in self._summary.draw_returning:
+                return True
+        return False
+
     def _is_sparse_expr(self, node: ast.AST) -> bool:
         if isinstance(node, ast.Call):
             if isinstance(node.func, ast.Attribute) and \
@@ -191,7 +355,7 @@ class LintVisitor(ast.NodeVisitor):
     def visit_Assign(self, node: ast.Assign) -> None:
         targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
         if targets:
-            if _contains_draw_call(node.value):
+            if self._contains_draw_call(node.value):
                 self._scope.draw_tainted.update(targets)
             else:
                 self._scope.draw_tainted.difference_update(targets)
@@ -210,11 +374,17 @@ class LintVisitor(ast.NodeVisitor):
         self._check_sparse_in_loop(node)
         self._check_eager_sample(node)
         self._check_test_randomness(node)
+        self._check_json_emission(node)
+        self._check_counter_prefix(node)
         self.generic_visit(node)
 
     def visit_Compare(self, node: ast.Compare) -> None:
         self._check_sparse_compare(node)
         self._check_float_equality(node)
+        self.generic_visit(node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        self._check_shard_arithmetic(node)
         self.generic_visit(node)
 
     def _check_global_rng(self, node: ast.Call) -> None:
@@ -265,7 +435,7 @@ class LintVisitor(ast.NodeVisitor):
                 isinstance(arg, ast.Name)
                 and arg.id in self._scope.draw_tainted
             )
-            if tainted_name or _contains_draw_call(arg):
+            if tainted_name or self._contains_draw_call(arg):
                 self._report(
                     node, "RPL002",
                     f"`{dotted.split('.')[-1]}` seeded from values drawn "
@@ -381,6 +551,196 @@ class LintVisitor(ast.NodeVisitor):
                     )
                     return
 
+    def _check_json_emission(self, node: ast.Call) -> None:
+        """RPL101 — strict JSON emission in result-IO modules."""
+        if self.context.is_test or not self.context.is_result_io:
+            return
+        dotted = _dotted(node.func)
+        if dotted not in ("json.dump", "json.dumps"):
+            return
+        keywords = {kw.arg: kw.value for kw in node.keywords
+                    if kw.arg is not None}
+        allow_nan = keywords.get("allow_nan")
+        strict_nan = (
+            isinstance(allow_nan, ast.Constant) and allow_nan.value is False
+        )
+        has_default = "default" in keywords
+        wrapped_payload = bool(node.args) and (
+            isinstance(node.args[0], ast.Call)
+            and _dotted(node.args[0].func) is not None
+            and _dotted(node.args[0].func).split(".")[-1]
+            in ("to_builtin", "canonical_json")
+        )
+        missing = []
+        if not strict_nan:
+            missing.append("allow_nan=False")
+        if not (has_default or wrapped_payload):
+            missing.append("default=json_default (or a to_builtin(...) "
+                           "payload)")
+        if missing:
+            self._report(
+                node, "RPL101",
+                f"`{dotted}` in a result-IO module without "
+                f"{' and '.join(missing)}; NaN tokens and numpy scalars "
+                f"must fail at the emit site, not in a reader",
+            )
+
+    def _check_counter_prefix(self, node: ast.Call) -> None:
+        """RPL104 — bookkeeping counters must carry their canonical prefix."""
+        if self.context.is_test:
+            return
+        dotted = _dotted(node.func)
+        if dotted is None or dotted.split(".")[-1] not in ("add_count",
+                                                           "increment"):
+            return
+        if not node.args:
+            return
+        first = node.args[0]
+        if not isinstance(first, ast.Constant) or \
+                not isinstance(first.value, str):
+            return
+        name = first.value
+        if name.startswith("count_"):
+            self._report(
+                node, "RPL104",
+                f"counter {name!r} uses the reserved `count_` result-metric "
+                f"namespace; counters surface as count_<name> automatically",
+            )
+            return
+        for word in _COUNTER_PREFIX_WORDS:
+            if word in name and not name.startswith(word + "_"):
+                self._report(
+                    node, "RPL104",
+                    f"counter {name!r} mentions `{word}` but does not start "
+                    f"with `{word}_`; bookkeeping counters must match "
+                    f"NON_RESULT_COUNTER_PREFIXES so they never leak into "
+                    f"count_* result metrics",
+                )
+                return
+
+    def _check_shard_arithmetic(self, node: ast.BinOp) -> None:
+        """RPL103 — hand-rolled shard/span arithmetic in library code."""
+        if self.context.is_test or \
+                is_shard_primitive_module(self.context.path):
+            return
+        if not isinstance(node.op, (ast.Mult, ast.FloorDiv, ast.Mod, ast.Div)):
+            return
+        for operand in (node.left, node.right):
+            dotted = _dotted(operand)
+            if dotted is None:
+                continue
+            tail = dotted.split(".")[-1]
+            if "shard" in tail:
+                self._report(
+                    node, "RPL103",
+                    f"arithmetic on `{dotted}` hand-rolls shard/span "
+                    f"partitioning; use shard_spans (repro.utils.parallel) "
+                    f"/ spawn_slice (repro.utils.rng), which tile exactly",
+                )
+                return
+
+    def _check_spec_keys(self, node: ast.AST) -> None:
+        """RPL102 — cache-relevant params must reach the spec payload."""
+        if self.context.is_test:
+            return
+        relevant = [p for p in _param_names(node)
+                    if p in _CACHE_RELEVANT_PARAMS]
+        if not relevant:
+            return
+        talks_to_cache = False
+        string_literals: Set[str] = set()
+        keyword_names: Set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call) and \
+                    isinstance(sub.func, ast.Attribute) and \
+                    sub.func.attr in ("get", "put", "peek"):
+                receiver = _dotted(sub.func.value)
+                if receiver is not None and "cache" in receiver.split(".")[-1]:
+                    talks_to_cache = True
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                string_literals.add(sub.value)
+            if isinstance(sub, ast.keyword) and sub.arg is not None:
+                keyword_names.add(sub.arg)
+        if not talks_to_cache:
+            return
+        for param in relevant:
+            if param in string_literals or param in keyword_names:
+                continue
+            self._report(
+                node, "RPL102",
+                f"function takes cache-relevant parameter `{param}` and "
+                f"talks to a probe cache, but `{param}` never appears as a "
+                f"spec key or keyword argument; omitting it collides "
+                f"distinct results on one cache key",
+            )
+
+    def _check_identity_delegation(self, node: ast.AST) -> None:
+        """RPL105 — batch/shard params need an identity guard or pure
+        forwarding."""
+        if self.context.is_test or not self.context.is_trial_engine:
+            return
+        params = [p for p in _param_names(node) if p in ("batch", "shard")]
+        if not params:
+            return
+        for param in params:
+            if self._has_identity_guard(node, param):
+                continue
+            bad = self._computational_use(node, param)
+            if bad is not None:
+                self._report(
+                    bad, "RPL105",
+                    f"`{param}` used computationally without an identity-"
+                    f"case guard; normalize it first (_check_batch / "
+                    f"normalize_shard / explicit None-or-1 comparison) so "
+                    f"batch=None/1 and shard=None delegate to the serial "
+                    f"path bitwise",
+                )
+
+    def _has_identity_guard(self, func: ast.AST, param: str) -> bool:
+        for sub in ast.walk(func):
+            if isinstance(sub, ast.Call):
+                dotted = _dotted(sub.func)
+                if dotted is not None and any(
+                    fragment in dotted.split(".")[-1]
+                    for fragment in _IDENTITY_GUARD_FRAGMENTS
+                ):
+                    return True
+            if isinstance(sub, ast.Compare) and \
+                    self._is_identity_compare(sub, param):
+                return True
+        return False
+
+    @staticmethod
+    def _is_identity_compare(node: ast.Compare, param: str) -> bool:
+        operands = [node.left] + list(node.comparators)
+        mentions = any(isinstance(o, ast.Name) and o.id == param
+                       for o in operands)
+        if not mentions:
+            return False
+        for operand in operands:
+            if isinstance(operand, ast.Constant) and \
+                    operand.value in (None, 1):
+                return True
+            if isinstance(operand, (ast.Tuple, ast.List, ast.Set)) and all(
+                isinstance(e, ast.Constant) and e.value in (None, 1)
+                for e in operand.elts
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _computational_use(func: ast.AST, param: str) -> Optional[ast.AST]:
+        """First node computing with ``param`` (vs merely forwarding it)."""
+        computational = (ast.BinOp, ast.UnaryOp, ast.BoolOp, ast.Subscript,
+                         ast.Compare)
+        for sub in ast.walk(func):
+            if not isinstance(sub, computational):
+                continue
+            for name in ast.walk(sub):
+                if isinstance(name, ast.Name) and name.id == param:
+                    return sub
+        return None
+
     def _check_sparse_compare(self, node: ast.Compare) -> None:
         """RPL004 — == / != with a sparse operand."""
         if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
@@ -415,8 +775,10 @@ class LintVisitor(ast.NodeVisitor):
 def collect_violations(tree: ast.AST, context: FileContext,
                        source_lines: Optional[List[str]] = None
                        ) -> List[Violation]:
-    """Run :class:`LintVisitor` over ``tree`` and return its findings."""
-    visitor = LintVisitor(context, source_lines=source_lines)
+    """Run both passes over ``tree`` and return pass 2's findings."""
+    summary = summarize_module(tree)
+    visitor = LintVisitor(context, source_lines=source_lines,
+                          summary=summary)
     visitor.visit(tree)
     return visitor.violations
 
@@ -431,4 +793,9 @@ _CHECK_METHODS: Dict[str, str] = {
     "RPL006": "_check_float_equality",
     "RPL007": "_check_eager_sample",
     "RPL008": "_check_test_randomness",
+    "RPL101": "_check_json_emission",
+    "RPL102": "_check_spec_keys",
+    "RPL103": "_check_shard_arithmetic",
+    "RPL104": "_check_counter_prefix",
+    "RPL105": "_check_identity_delegation",
 }

@@ -1,0 +1,260 @@
+"""Trace canonicalisation, divergence diffing, and intra-trace checks.
+
+The comparison layer of :mod:`repro.sanitize`.  A *trace* is the plain
+list of event dicts a :class:`~repro.sanitize.recorder.StreamTraceRecorder`
+captured: ``channel="stream"`` events from the RNG fan-out primitives
+(:func:`repro.utils.rng.spawn_seeds` / ``spawn_slice``) and
+``channel="cache"`` events from the probe cache.  Two executions of the
+same workload at the same seed must produce **identical** stream traces
+— same events, same order, same spawn-tree positions — regardless of
+``workers``, ``batch``, caching, or sharding; any difference is a
+determinism bug, even when the final result bytes happen to agree.
+
+Three failure classes are distinguished:
+
+* ``stream-divergence`` — the runs derived different child streams (a
+  different parent, a different fan-out width, a different primitive).
+* ``draw-count-drift`` — same primitive on the same parent sequence, but
+  at a different spawn counter: something consumed extra children (or
+  skipped some) before this point.
+* ``double-consumption`` — *within one trace*, the same parent handed
+  out overlapping child-index ranges.  A live ``SeedSequence`` cannot do
+  this (spawning advances its counter), so an overlap proves two
+  distinct sequence objects shared one spawn-tree position — the classic
+  rebuilt-parent race that silently correlates "independent" trials.
+
+Stack provenance attached by the recorder is excluded from comparison
+(:func:`canonical_event`): a cache-hit replay legitimately reaches a
+spawn through different frames than a cold run while consuming exactly
+the same streams.  Stdlib-only by design.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
+
+__all__ = [
+    "DeterminismError",
+    "Divergence",
+    "cache_events",
+    "canonical_event",
+    "check_trace",
+    "diff_traces",
+    "format_divergence",
+    "stream_events",
+]
+
+#: Event keys carrying provenance rather than identity; never compared.
+_PROVENANCE_KEYS = frozenset({"stack"})
+
+
+class DeterminismError(Exception):
+    """A determinism contract was violated.
+
+    Raised by the ``sanitized=`` re-execution hook
+    (:func:`repro.sanitize.runtime.sanitized_rerun`) and carried in the
+    sanitizer CLI's report.  ``divergence`` holds the structured
+    :class:`Divergence` when one is available.
+    """
+
+    def __init__(self, message: str,
+                 divergence: Optional["Divergence"] = None) -> None:
+        super().__init__(message)
+        self.divergence = divergence
+
+
+class Divergence(NamedTuple):
+    """One detected determinism fault, anchored to a trace position.
+
+    ``reference``/``candidate`` are the full recorded events (provenance
+    included) on each side; for intra-trace faults (``double-consumption``)
+    they are the two conflicting events of the *same* trace.
+    """
+
+    index: int
+    axis: str
+    kind: str
+    reference: Optional[Dict[str, Any]]
+    candidate: Optional[Dict[str, Any]]
+    detail: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form for divergence reports."""
+        return {
+            "index": self.index,
+            "axis": self.axis,
+            "kind": self.kind,
+            "reference": self.reference,
+            "candidate": self.candidate,
+            "detail": self.detail,
+        }
+
+
+def canonical_event(event: Dict[str, Any]) -> Dict[str, Any]:
+    """``event`` stripped to its comparable identity (no provenance)."""
+    return {
+        key: value for key, value in event.items()
+        if key not in _PROVENANCE_KEYS
+    }
+
+
+def stream_events(trace: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The RNG fan-out events of ``trace``, in recording order."""
+    return [e for e in trace if e.get("channel", "stream") == "stream"]
+
+
+def cache_events(trace: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The probe-cache events of ``trace``, in recording order."""
+    return [e for e in trace if e.get("channel") == "cache"]
+
+
+def _parent_id(event: Dict[str, Any]) -> Tuple[str, Tuple[int, ...]]:
+    """Spawn-tree identity of the parent sequence behind ``event``."""
+    return (
+        json.dumps(event.get("entropy")),
+        tuple(int(k) for k in event.get("spawn_key", ())),
+    )
+
+
+def _parent_label(event: Dict[str, Any]) -> str:
+    entropy = event.get("entropy")
+    text = str(entropy)
+    if len(text) > 24:
+        text = text[:21] + "..."
+    return f"entropy={text} spawn_key={list(event.get('spawn_key', []))}"
+
+
+def _handed_range(event: Dict[str, Any]) -> Optional[Tuple[int, int]]:
+    """Child-index range ``event`` handed to its caller, or ``None``.
+
+    ``spawn`` hands out every derived child; ``spawn_slice`` reserves
+    ``total`` spawn slots but hands out only ``[start, stop)`` — shards
+    of one parent legitimately reserve overlapping totals, so only the
+    handed-out slice participates in double-consumption checks.
+    """
+    base = int(event.get("base", 0))
+    kind = event.get("kind")
+    if kind == "spawn":
+        return (base, base + int(event.get("count", 0)))
+    if kind == "spawn_slice":
+        return (base + int(event.get("start", 0)),
+                base + int(event.get("stop", 0)))
+    return None
+
+
+def check_trace(trace: List[Dict[str, Any]], *,
+                axis: str = "trace") -> List[Divergence]:
+    """Intra-trace faults of one recording: double-consumed child streams.
+
+    Returns one ``double-consumption`` :class:`Divergence` per
+    overlapping pair.  These are hard errors even when final bytes agree:
+    two call sites drawing from the same child stream correlate trials
+    that every estimator in :mod:`repro.core.tester` assumes independent.
+    """
+    faults: List[Divergence] = []
+    handed: Dict[Tuple[str, Tuple[int, ...]],
+                 List[Tuple[int, Dict[str, Any], Tuple[int, int]]]] = {}
+    for index, event in enumerate(stream_events(trace)):
+        span = _handed_range(event)
+        if span is None or span[0] >= span[1]:
+            continue
+        parent = _parent_id(event)
+        for prev_index, prev_event, prev_span in handed.get(parent, []):
+            lo = max(span[0], prev_span[0])
+            hi = min(span[1], prev_span[1])
+            if lo < hi:
+                faults.append(Divergence(
+                    index=index,
+                    axis=axis,
+                    kind="double-consumption",
+                    reference=prev_event,
+                    candidate=event,
+                    detail=(
+                        f"children [{lo}, {hi}) of parent "
+                        f"{_parent_label(event)} were handed out twice "
+                        f"(stream events #{prev_index} and #{index}): two "
+                        f"seed sequences share one spawn-tree position, "
+                        f"so 'independent' trials draw correlated streams"
+                    ),
+                ))
+        handed.setdefault(parent, []).append((index, event, span))
+    return faults
+
+
+def diff_traces(reference: List[Dict[str, Any]],
+                candidate: List[Dict[str, Any]], *,
+                axis: str = "") -> Optional[Divergence]:
+    """First divergent stream event between two recordings, or ``None``.
+
+    Comparison is positional over :func:`canonical_event` forms —
+    determinism means the *sequence* of fan-outs matches, not merely the
+    set.  A mismatch where kind and parent agree but the spawn counter
+    (``base``) differs is classified as ``draw-count-drift``; a length
+    mismatch as ``missing-events``/``extra-events``.
+    """
+    ref = stream_events(reference)
+    cand = stream_events(candidate)
+    for index, (r, c) in enumerate(zip(ref, cand)):
+        r_id, c_id = canonical_event(r), canonical_event(c)
+        if r_id == c_id:
+            continue
+        kind = "stream-divergence"
+        if (r_id.get("kind") == c_id.get("kind")
+                and _parent_id(r) == _parent_id(c)
+                and r_id.get("base") != c_id.get("base")):
+            kind = "draw-count-drift"
+            detail = (
+                f"same fan-out on parent {_parent_label(r)} but at spawn "
+                f"counter {c_id.get('base')} instead of {r_id.get('base')}:"
+                f" something consumed a different number of child streams "
+                f"before this point"
+            )
+        else:
+            detail = (
+                f"stream event #{index} differs: reference derived "
+                f"{r_id.get('kind')} on {_parent_label(r)}, candidate "
+                f"{c_id.get('kind')} on {_parent_label(c)}"
+            )
+        return Divergence(index=index, axis=axis, kind=kind,
+                          reference=r, candidate=c, detail=detail)
+    if len(ref) != len(cand):
+        index = min(len(ref), len(cand))
+        return Divergence(
+            index=index,
+            axis=axis,
+            kind="missing-events" if len(cand) < len(ref)
+            else "extra-events",
+            reference=ref[index] if index < len(ref) else None,
+            candidate=cand[index] if index < len(cand) else None,
+            detail=(
+                f"reference recorded {len(ref)} stream events, candidate "
+                f"{len(cand)}; traces agree up to event #{index}"
+            ),
+        )
+    return None
+
+
+def _describe_event(event: Optional[Dict[str, Any]]) -> List[str]:
+    if event is None:
+        return ["    (no event — trace ended)"]
+    identity = canonical_event(event)
+    parts = [f"{key}={identity[key]!r}" for key in sorted(identity)]
+    lines = ["    " + " ".join(parts)]
+    for frame in event.get("stack", []):
+        lines.append(f"      at {frame}")
+    return lines
+
+
+def format_divergence(divergence: Divergence) -> str:
+    """Multi-line human-readable report of one divergence."""
+    lines = [
+        f"first divergence at stream event #{divergence.index}"
+        f" [{divergence.axis}]: {divergence.kind}",
+        f"  {divergence.detail}",
+        "  reference event:",
+        *_describe_event(divergence.reference),
+        "  candidate event:",
+        *_describe_event(divergence.candidate),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Low-level observer hooks the sanitizer installs.
+
+Deliberately stdlib-only: :mod:`repro.cache.probes` imports this module
+to report cache-key traffic, so anything heavier (numpy, other ``repro``
+packages) would create an import cycle ``cache`` → ``sanitize`` →
+``cache``.  The RNG-side twin of this hook lives in
+:func:`repro.utils.rng.use_stream_observer`.
+
+With no observer installed — the default — every reporting site pays
+exactly one ``ContextVar.get`` returning ``None``; observation never
+changes which cache records are read or written.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+from typing import Any, Iterator, Optional
+
+__all__ = [
+    "cache_observer",
+    "record_cache_event",
+    "use_cache_observer",
+]
+
+#: The installed cache observer (see :func:`use_cache_observer`), or
+#: ``None``.
+_CACHE_OBSERVER: "contextvars.ContextVar[Optional[Any]]" = \
+    contextvars.ContextVar("repro_cache_observer", default=None)
+
+
+def cache_observer() -> Optional[Any]:
+    """The installed cache observer, or ``None`` (the default)."""
+    return _CACHE_OBSERVER.get()
+
+
+@contextlib.contextmanager
+def use_cache_observer(observer: Any) -> Iterator[Any]:
+    """Install ``observer`` as the current cache observer.
+
+    The observer must expose ``record_cache_event(kind, **fields)``; it
+    is called from :mod:`repro.cache.probes` with every logical lookup
+    (``cache_hit``/``cache_miss``) and every record write (``cache_put``),
+    carrying the content-addressed key.  :mod:`repro.sanitize` records
+    these alongside the RNG stream trace so a divergence report can say
+    *which* probe key went wrong, not just which draw.
+    """
+    token = _CACHE_OBSERVER.set(observer)
+    try:
+        yield observer
+    finally:
+        _CACHE_OBSERVER.reset(token)
+
+
+def record_cache_event(kind: str, **fields: Any) -> None:
+    """Report one cache event to the installed observer, if any."""
+    observer = _CACHE_OBSERVER.get()
+    if observer is not None:
+        observer.record_cache_event(kind, **fields)

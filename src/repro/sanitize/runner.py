@@ -1,0 +1,203 @@
+"""Config-axis sanitizer battery: serial vs workers vs batch vs shards.
+
+Drives one experiment through every execution strategy that promises
+determinism and diffs the recorded stream traces against the serial
+reference run:
+
+* ``workers=N`` — the process-pool trial engine must derive exactly the
+  serial run's child streams and reproduce its result bit for bit.
+* ``batch=B`` — the batched kernel engine owns a *different* (canonical)
+  accumulation order, so its values are not compared against the serial
+  reference; its stream trace must still match (batching may not change
+  which streams are consumed), and its result must be bit-identical
+  across ``workers`` settings.
+* ``shards=K`` — the full shard/merge/replay protocol of
+  :func:`repro.shard.sharded_call`.  Every per-shard pass gets its own
+  recorder (rounds re-run the schedule from scratch, so cross-round
+  stream reuse is legitimate — but *within* one pass double-consumption
+  is a hard error), and the final serial replay's trace must equal the
+  serial reference's: a pure cache-hit replay consumes exactly the
+  streams a cold run would.
+
+The battery is what ``python -m repro.sanitize run`` executes and what
+the CI sanitizer smoke gate runs at a fixed seed.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..experiments.registry import run_experiment
+from ..shard import sharded_call
+from ..utils.serialization import json_default, to_builtin
+from .diff import Divergence, cache_events, check_trace, diff_traces, \
+    format_divergence, stream_events
+from .recorder import StreamTraceRecorder
+
+__all__ = ["sanitize_experiment", "sanitize_run", "write_report"]
+
+
+def _result_payload(result: Any) -> str:
+    """Canonical JSON bytes of an experiment result, for bit comparison."""
+    return json.dumps(to_builtin(result.to_dict()), sort_keys=True,
+                      allow_nan=False, default=json_default)
+
+
+def _axis_entry(axis: str, trace: List[Dict[str, Any]],
+                divergences: List[Divergence],
+                result_match: bool) -> Dict[str, Any]:
+    return {
+        "axis": axis,
+        "stream_events": len(stream_events(trace)),
+        "cache_events": len(cache_events(trace)),
+        "result_match": bool(result_match),
+        "divergences": [
+            {**d.to_dict(), "report": format_divergence(d)}
+            for d in divergences
+        ],
+    }
+
+
+def sanitize_experiment(experiment_id: str, *, scale: float = 0.05,
+                        seed: Optional[int] = 0, workers: int = 4,
+                        batch: int = 8, shards: int = 3,
+                        shard_dir: Optional[Union[str, Path]] = None
+                        ) -> Dict[str, Any]:
+    """Run the full axis battery for one experiment; returns the report.
+
+    The report's ``status`` is ``"ok"`` only when every axis recorded
+    zero divergences and reproduced the expected result bytes.
+    ``shard_dir`` overrides the temporary directory the shard axis uses
+    for its probe stores (useful when inspecting a failure).
+    """
+    axes: List[Dict[str, Any]] = []
+
+    def run_traced(label: str, **kwargs: Any
+                   ) -> Tuple[Any, List[Dict[str, Any]]]:
+        recorder = StreamTraceRecorder(label=f"{experiment_id}:{label}")
+        with recorder.activate():
+            result = run_experiment(experiment_id, scale=scale, rng=seed,
+                                    **kwargs)
+        return result, recorder.trace()
+
+    reference, reference_trace = run_traced("serial", workers=1)
+    reference_payload = _result_payload(reference)
+    axes.append(_axis_entry(
+        "serial(reference)", reference_trace,
+        check_trace(reference_trace, axis="serial"), result_match=True,
+    ))
+
+    candidate, trace = run_traced(f"workers={workers}", workers=workers)
+    divergences = check_trace(trace, axis=f"workers={workers}")
+    drift = diff_traces(reference_trace, trace,
+                        axis=f"workers={workers} vs serial")
+    if drift is not None:
+        divergences.append(drift)
+    axes.append(_axis_entry(
+        f"workers={workers}", trace, divergences,
+        result_match=_result_payload(candidate) == reference_payload,
+    ))
+
+    batched_serial, trace_b1 = run_traced(
+        f"batch={batch}:workers=1", workers=1, batch=batch,
+    )
+    batched_pool, trace_bn = run_traced(
+        f"batch={batch}:workers={workers}", workers=workers, batch=batch,
+    )
+    divergences = check_trace(trace_b1, axis=f"batch={batch}:workers=1")
+    divergences += check_trace(
+        trace_bn, axis=f"batch={batch}:workers={workers}",
+    )
+    drift = diff_traces(
+        trace_b1, trace_bn,
+        axis=f"batch={batch}: workers={workers} vs workers=1",
+    )
+    if drift is not None:
+        divergences.append(drift)
+    drift = diff_traces(reference_trace, trace_b1,
+                        axis=f"batch={batch} vs serial")
+    if drift is not None:
+        divergences.append(drift)
+    axes.append(_axis_entry(
+        f"batch={batch}", trace_bn, divergences,
+        result_match=(_result_payload(batched_serial)
+                      == _result_payload(batched_pool)),
+    ))
+
+    passes: List[Tuple[str, List[Dict[str, Any]]]] = []
+
+    def sharded(shard_cache: Any, shard: Any) -> Any:
+        tag = "replay" if shard is None else f"pass{shard.index}"
+        recorder = StreamTraceRecorder(
+            label=f"{experiment_id}:shards={shards}:{tag}",
+        )
+        try:
+            with recorder.activate():
+                return run_experiment(
+                    experiment_id, scale=scale, rng=seed, workers=1,
+                    cache=shard_cache, shard=shard,
+                )
+        finally:
+            passes.append((tag, recorder.trace()))
+
+    if shard_dir is not None:
+        sharded_result = sharded_call(sharded, shards, shard_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-sanitize-") as tmp:
+            sharded_result = sharded_call(sharded, shards, tmp)
+    divergences = []
+    for tag, pass_trace in passes:
+        divergences += check_trace(pass_trace,
+                                   axis=f"shards={shards}:{tag}")
+    replay_tag, replay_trace = passes[-1]
+    drift = diff_traces(reference_trace, replay_trace,
+                        axis=f"shards={shards} {replay_tag} vs serial")
+    if drift is not None:
+        divergences.append(drift)
+    axes.append(_axis_entry(
+        f"shards={shards}", replay_trace, divergences,
+        result_match=_result_payload(sharded_result) == reference_payload,
+    ))
+
+    clean = all(
+        entry["result_match"] and not entry["divergences"]
+        for entry in axes
+    )
+    return {
+        "experiment": experiment_id,
+        "scale": scale,
+        "seed": seed,
+        "axes": axes,
+        "status": "ok" if clean else "divergent",
+    }
+
+
+def sanitize_run(experiment_ids: List[str], *, scale: float = 0.05,
+                 seed: Optional[int] = 0, workers: int = 4,
+                 batch: int = 8, shards: int = 3) -> Dict[str, Any]:
+    """Axis battery over several experiments; aggregates their reports."""
+    reports = [
+        sanitize_experiment(eid, scale=scale, seed=seed, workers=workers,
+                            batch=batch, shards=shards)
+        for eid in experiment_ids
+    ]
+    clean = all(report["status"] == "ok" for report in reports)
+    return {
+        "experiments": reports,
+        "status": "ok" if clean else "divergent",
+    }
+
+
+def write_report(report: Dict[str, Any],
+                 path: Union[str, Path]) -> Path:
+    """Write a divergence report as JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(report, indent=2, sort_keys=True, allow_nan=False,
+                   default=json_default)
+    )
+    return path

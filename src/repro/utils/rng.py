@@ -22,6 +22,8 @@ parent generator.  Consequences callers can rely on:
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
@@ -35,7 +37,39 @@ __all__ = [
     "spawn_seeds",
     "spawn_slice",
     "stream",
+    "stream_observer",
+    "use_stream_observer",
 ]
+
+#: The installed stream observer (see :func:`use_stream_observer`), or
+#: ``None``.  With none installed — the default — every fan-out site pays
+#: exactly one ``ContextVar.get`` returning ``None``; observation never
+#: consumes randomness or changes which children are spawned.
+_STREAM_OBSERVER: "contextvars.ContextVar[Optional[Any]]" = \
+    contextvars.ContextVar("repro_stream_observer", default=None)
+
+
+def stream_observer() -> Optional[Any]:
+    """The installed stream observer, or ``None`` (the default)."""
+    return _STREAM_OBSERVER.get()
+
+
+@contextlib.contextmanager
+def use_stream_observer(observer: Any) -> Iterator[Any]:
+    """Install ``observer`` as the current stream observer.
+
+    The observer must expose ``record_stream_event(kind, **fields)``; it
+    is called from :func:`spawn_seeds` / :func:`spawn_slice` with the
+    spawn-tree position (parent entropy + spawn key), the parent's draw
+    counter (``base`` = children already spawned), and the children being
+    derived.  :mod:`repro.sanitize` uses this to reconstruct the stream
+    fan-out of a run and diff it against a reference execution.
+    """
+    token = _STREAM_OBSERVER.set(observer)
+    try:
+        yield observer
+    finally:
+        _STREAM_OBSERVER.reset(token)
 
 #: Anything that can be turned into a :class:`numpy.random.Generator`.
 RngLike = Union[None, int, Sequence[int], np.random.SeedSequence, np.random.Generator]
@@ -88,18 +122,48 @@ def spawn_seeds(rng: RngLike, count: int) -> List[np.random.SeedSequence]:
     """
     if count < 0:
         raise ValueError(f"count must be nonnegative, got {count}")
+    observer = _STREAM_OBSERVER.get()
+    seq = _resolve_seed_sequence(rng, observer)
+    if observer is not None:
+        observer.record_stream_event(
+            "spawn",
+            entropy=_canonical_entropy(seq),
+            spawn_key=[int(key) for key in seq.spawn_key],
+            base=int(seq.n_children_spawned),
+            count=int(count),
+        )
+    return seq.spawn(count)
+
+
+def _resolve_seed_sequence(rng: RngLike,
+                           observer: Optional[Any]
+                           ) -> np.random.SeedSequence:
+    """The sequence backing ``rng``, building a draw-derived fallback."""
     seq = _seed_sequence_of(rng)
     if seq is None:
         # Generator without a recorded SeedSequence: fall back to drawing
         # seed material from its stream (not order-robust, but functional).
         parent = as_generator(rng)
         entropy = [int(x) for x in parent.integers(0, 2**63 - 1, size=4)]
+        if observer is not None:
+            observer.record_stream_event("fallback_draw",
+                                         words=len(entropy))
         # Deliberate draw-derived seeding: this generator carries no
         # SeedSequence, so spawn-based derivation is impossible by
         # construction.
         # repro-lint: disable-next-line=RPL002
         seq = np.random.SeedSequence(entropy)
-    return seq.spawn(count)
+    return seq
+
+
+def _canonical_entropy(seq: np.random.SeedSequence) -> Any:
+    """``seq.entropy`` coerced to JSON-able builtins (as in fingerprints)."""
+    entropy: Any = seq.entropy
+    if isinstance(entropy, (list, tuple)):
+        return [int(item) for item in entropy]
+    if entropy is not None:
+        return int(entropy)
+    return None
 
 
 def spawn_slice(rng: RngLike, start: int, stop: int,
@@ -130,10 +194,20 @@ def spawn_slice(rng: RngLike, start: int, stop: int,
         raise ValueError(
             f"total ({total}) must cover the slice end ({stop})"
         )
+    observer = _STREAM_OBSERVER.get()
+    seq = _resolve_seed_sequence(rng, observer)
+    if observer is not None:
+        observer.record_stream_event(
+            "spawn_slice",
+            entropy=_canonical_entropy(seq),
+            spawn_key=[int(key) for key in seq.spawn_key],
+            base=int(seq.n_children_spawned),
+            start=int(start), stop=int(stop), total=int(total),
+        )
     # SeedSequence.spawn is the only sanctioned way to advance the spawn
     # counter, so all `total` children are derived and the slice is cut
     # out; construction is cheap (entropy mixing only, no bit-generator).
-    return spawn_seeds(rng, total)[start:stop]
+    return seq.spawn(total)[start:stop]
 
 
 def seed_fingerprint(rng: RngLike = None) -> Optional[Dict[str, Any]]:
@@ -156,13 +230,8 @@ def seed_fingerprint(rng: RngLike = None) -> Optional[Dict[str, Any]]:
     seq = _seed_sequence_of(rng)
     if seq is None:
         return None
-    entropy: Any = seq.entropy
-    if isinstance(entropy, (list, tuple)):
-        entropy = [int(item) for item in entropy]
-    elif entropy is not None:
-        entropy = int(entropy)
     return {
-        "entropy": entropy,
+        "entropy": _canonical_entropy(seq),
         "spawn_key": [int(key) for key in seq.spawn_key],
         "pool_size": int(seq.pool_size),
         "children_spawned": int(seq.n_children_spawned),

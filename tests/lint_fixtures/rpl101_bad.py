@@ -1,0 +1,11 @@
+# Fixture: triggers RPL101 — lenient JSON emission in a result-IO
+# module: no allow_nan=False, no numpy-safe default=/to_builtin payload.
+# Linted under a virtual src/repro/cache/... path by tests/test_lint.py.
+import json
+
+
+def save_result(path, payload):
+    text = json.dumps(payload, sort_keys=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    return text

@@ -1,0 +1,14 @@
+# Fixture: clean counterpart to rpl101_bad.py — every emit site passes
+# allow_nan=False and handles numpy payloads (default=json_default or a
+# to_builtin(...) wrapper), so NaN tokens fail at the writer.
+import json
+
+from repro.utils.serialization import json_default, to_builtin
+
+
+def save_result(path, payload):
+    text = json.dumps(payload, sort_keys=True, allow_nan=False,
+                      default=json_default)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_builtin(payload), handle, allow_nan=False)
+    return text

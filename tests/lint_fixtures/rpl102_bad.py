@@ -1,0 +1,13 @@
+# Fixture: triggers RPL102 — `batch` shapes the probe result but never
+# reaches the cache spec, so batched and serial runs collide on one key.
+# Linted under a virtual src/repro/cache/... path by tests/test_lint.py.
+
+
+def cached_estimate(probe_cache, family, instance, trials, batch):
+    spec = {"probe": "failure_estimate", "trials": trials}
+    hit = probe_cache.get(spec)
+    if hit is not None:
+        return hit
+    value = run_probe(family, instance, trials, batch)
+    probe_cache.put(spec, value)
+    return value

@@ -1,0 +1,13 @@
+# Fixture: clean counterpart to rpl102_bad.py — every result-shaping
+# parameter appears in the spec payload, so distinct configurations get
+# distinct cache keys.
+
+
+def cached_estimate(probe_cache, family, instance, trials, batch):
+    spec = {"probe": "failure_estimate", "trials": trials, "batch": batch}
+    hit = probe_cache.get(spec)
+    if hit is not None:
+        return hit
+    value = run_probe(family, instance, trials, batch=batch)
+    probe_cache.put(spec, value)
+    return value

@@ -1,0 +1,12 @@
+# Fixture: triggers RPL103 — hand-rolled shard/span arithmetic, the
+# PR 7 overlap bug: uneven division makes ad-hoc spans overlap or gap.
+# Linted under a virtual src/repro/... library path by tests/test_lint.py.
+
+
+def slice_for(total, shards, shard_index):
+    per_shard = total // shards
+    start = shard_index * per_shard
+    stop = start + per_shard
+    if shard_index == shards - 1:
+        stop = total
+    return start, stop

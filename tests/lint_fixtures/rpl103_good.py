@@ -1,0 +1,8 @@
+# Fixture: clean counterpart to rpl103_bad.py — partitioning delegated
+# to the sanctioned primitive, which tiles exactly under uneven division.
+from repro.utils.parallel import shard_spans
+
+
+def slice_for(total, shards, shard_index):
+    spans = shard_spans(total, shards)
+    return spans[shard_index]

@@ -1,0 +1,9 @@
+# Fixture: triggers RPL104 — bookkeeping counters dodging the
+# NON_RESULT_COUNTER_PREFIXES naming contract.
+# Linted under a virtual src/repro/... library path by tests/test_lint.py.
+
+
+def record(metrics):
+    metrics.add_count("count_cache_hits")
+    metrics.add_count("hits_cache")
+    metrics.increment("local_shard_retries")

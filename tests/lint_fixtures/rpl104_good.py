@@ -1,0 +1,8 @@
+# Fixture: clean counterpart to rpl104_bad.py — bookkeeping counters
+# carry their canonical prefix; plain result counters stay unprefixed.
+
+
+def record(metrics):
+    metrics.add_count("cache_hits")
+    metrics.add_count("trials")
+    metrics.increment("shard_retries")

@@ -1,0 +1,9 @@
+# Fixture: triggers RPL105 — `batch` used computationally with no
+# identity-case guard, so batch=None/1 never reaches the serial path.
+# Linted under a virtual src/repro/core/... path by tests/test_lint.py.
+
+
+def run_batched(family, instance, trials, batch):
+    chunks = trials // batch
+    leftover = trials - chunks * batch
+    return chunks, leftover

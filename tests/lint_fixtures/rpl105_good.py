@@ -1,0 +1,9 @@
+# Fixture: clean counterpart to rpl105_bad.py — the identity cases are
+# normalized before any arithmetic, and shard= is purely forwarded.
+
+
+def run_batched(family, instance, trials, batch=None, shard=None):
+    if batch in (None, 1):
+        return serial_run(family, instance, trials, shard=shard)
+    chunks = trials // batch
+    return batched_run(family, instance, chunks, batch, shard=shard)

@@ -1,0 +1,8 @@
+# Fixture: triggers RPL901 — the directive suppresses nothing (the
+# .todense() it once silenced was fixed) and now only hides regressions.
+# Linted under a virtual src/repro/... library path by tests/test_lint.py.
+import numpy as np
+
+
+def already_fixed(matrix):
+    return np.asarray(matrix.toarray())  # repro-lint: disable=RPL003

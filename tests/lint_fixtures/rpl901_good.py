@@ -1,0 +1,6 @@
+# Fixture: clean counterpart to rpl901_bad.py — the directive earns its
+# keep by suppressing a real RPL003 on the same line.
+
+
+def legacy_densify(matrix):
+    return matrix.todense()  # repro-lint: disable=RPL003

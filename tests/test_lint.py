@@ -42,6 +42,7 @@ FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
 LIBRARY_PATH = "src/repro/hardinstances/fixture_module.py"
 HOT_PATH = "src/repro/sketch/fixture_module.py"
 TRIAL_PATH = "src/repro/core/fixture_module.py"
+CACHE_PATH = "src/repro/cache/fixture_module.py"
 TEST_PATH = "tests/test_fixture_module.py"
 
 RULE_FIXTURES = {
@@ -53,6 +54,12 @@ RULE_FIXTURES = {
     "RPL006": LIBRARY_PATH,
     "RPL007": TRIAL_PATH,
     "RPL008": TEST_PATH,
+    "RPL101": CACHE_PATH,
+    "RPL102": CACHE_PATH,
+    "RPL103": LIBRARY_PATH,
+    "RPL104": LIBRARY_PATH,
+    "RPL105": TRIAL_PATH,
+    "RPL901": LIBRARY_PATH,
 }
 
 
@@ -128,6 +135,54 @@ class TestRuleFixtures:
     def test_syntax_error_reported_as_rpl900(self):
         violations = lint_source("def broken(:\n", LIBRARY_PATH)
         assert [v.code for v in violations] == ["RPL900"]
+
+    def test_rpl101_only_fires_in_result_io_modules(self):
+        source = (FIXTURES / "rpl101_bad.py").read_text(encoding="utf-8")
+        # A sketch module's JSON writes feed nothing durable.
+        outside = lint_source(source, HOT_PATH)
+        assert [v for v in outside if v.code == "RPL101"] == []
+
+    def test_rpl102_keyword_forwarding_counts_as_spec_coverage(self):
+        # `batch` reaching the spec helper as a keyword argument is
+        # coverage even without a literal spec-dict key.
+        source = (
+            "def cached(probe_cache, trials, batch):\n"
+            "    spec = build_spec(trials=trials, batch=batch)\n"
+            "    return probe_cache.get(spec)\n"
+        )
+        assert lint_source(source, CACHE_PATH) == []
+
+    def test_rpl103_spares_the_shard_primitives_themselves(self):
+        source = (FIXTURES / "rpl103_bad.py").read_text(encoding="utf-8")
+        primitive = lint_source(source, "src/repro/utils/parallel.py")
+        assert [v for v in primitive if v.code == "RPL103"] == []
+
+    def test_rpl105_guard_helper_call_is_sufficient(self):
+        source = (
+            "from repro.core.batched import _check_batch\n"
+            "def run(trials, batch=None):\n"
+            "    size = _check_batch(batch)\n"
+            "    return trials // size\n"
+        )
+        assert lint_source(source, TRIAL_PATH) == []
+
+    def test_rpl105_only_fires_in_trial_engine_modules(self):
+        source = (FIXTURES / "rpl105_bad.py").read_text(encoding="utf-8")
+        outside = lint_source(source, "src/repro/hardinstances/fixture_module.py")
+        assert [v for v in outside if v.code == "RPL105"] == []
+
+    def test_rpl901_cannot_be_suppressed(self):
+        # A directive claiming to disable RPL901 is itself stale and is
+        # still reported — staleness cannot hide its own diagnosis.
+        source = "x = 1  # repro-lint: disable=RPL901\n"
+        violations = lint_source(source, LIBRARY_PATH)
+        assert [v.code for v in violations] == ["RPL901"]
+
+    def test_rpl901_respects_ignore_filter(self):
+        source = "x = 1  # repro-lint: disable=RPL003\n"
+        assert lint_source(
+            source, LIBRARY_PATH, ignore=frozenset({"RPL901"})
+        ) == []
 
 
 class TestPathClassification:
@@ -341,6 +396,42 @@ class TestCli:
         code, out, _ = run_cli([str(broken)])
         assert code == 1
         assert "RPL900" in out
+
+    def test_stale_suppression_listed_by_text_reporter(self, tmp_path):
+        stale = tmp_path / "stale.py"
+        stale.write_text(
+            "x = 1  # repro-lint: disable=RPL003\n", encoding="utf-8"
+        )
+        code, out, _ = run_cli(["--no-baseline", str(stale)])
+        assert code == 1
+        assert "RPL901" in out
+        assert "stale suppressions" in out
+        assert "disable=RPL003" in out
+
+    def test_parallel_jobs_output_matches_serial(self, tmp_path):
+        # Three files, two dirty: --jobs must preserve discovery-order
+        # output byte for byte.
+        (tmp_path / "a_bad.py").write_text("m.todense()\n", encoding="utf-8")
+        (tmp_path / "b_clean.py").write_text("x = 1\n", encoding="utf-8")
+        (tmp_path / "c_bad.py").write_text(
+            "import scipy.sparse as sp\n"
+            "def f(m):\n"
+            "    return m.todense()\n",
+            encoding="utf-8",
+        )
+        serial_code, serial_out, _ = run_cli(
+            ["--no-baseline", str(tmp_path)]
+        )
+        jobs_code, jobs_out, _ = run_cli(
+            ["--no-baseline", "--jobs", "2", str(tmp_path)]
+        )
+        assert serial_code == jobs_code == 1
+        assert jobs_out == serial_out
+
+    def test_nonpositive_jobs_exits_two(self, tmp_path):
+        code, _, err = run_cli(["--jobs", "0", str(tmp_path)])
+        assert code == 2
+        assert "--jobs" in err
 
 
 class TestRepoIsClean:

@@ -1,0 +1,312 @@
+"""Tests for :mod:`repro.sanitize` — the determinism race detector.
+
+Covers the recorder/diff layer (stream traces, double-consumption,
+draw-count drift), the ``sanitized=`` re-execution hook on the three
+probes, and seeded fault injection: each of the historical failure modes
+(double-consumed child streams, a cache spec missing a result-shaping
+field, NaN reaching a JSON emit site) must be caught with the right
+diagnostic.  Run alone with ``pytest -m sanitize``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import ProbeCache
+from repro.core import tester
+from repro.core.tester import distortion_samples, failure_estimate, minimal_m
+from repro.experiments.harness import ExperimentResult
+from repro.sanitize import (
+    DeterminismError,
+    StreamTraceRecorder,
+    cache_events,
+    canonical_event,
+    check_trace,
+    diff_traces,
+    record_cache_event,
+    replay_generator,
+    sanitized_rerun,
+    stream_events,
+)
+from repro.sanitize.__main__ import main as sanitize_main
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.gaussian import GaussianSketch
+from repro.hardinstances.dbeta import DBeta
+from repro.utils.parallel import ShardSpec
+from repro.utils.rng import seed_fingerprint, spawn, spawn_seeds, spawn_slice
+
+pytestmark = pytest.mark.sanitize
+
+
+def _family():
+    return CountSketch(m=40, n=64)
+
+
+def _instance():
+    return DBeta(n=64, d=4, reps=1)
+
+
+def _spawn_event(base, count=2, entropy=7, spawn_key=(), **extra):
+    event = {
+        "channel": "stream", "kind": "spawn", "entropy": entropy,
+        "spawn_key": list(spawn_key), "base": base, "count": count,
+    }
+    event.update(extra)
+    return event
+
+
+class TestRecorder:
+    def test_nothing_recorded_outside_activation(self):
+        recorder = StreamTraceRecorder(label="idle")
+        spawn_seeds(np.random.default_rng(7), 3)
+        assert len(recorder) == 0
+
+    def test_spawn_events_carry_tree_position_and_counter(self):
+        recorder = StreamTraceRecorder(label="t")
+        with recorder.activate():
+            spawn_seeds(np.random.default_rng(7), 3)
+            spawn_slice(np.random.default_rng(9), 1, 3, total=6)
+        events = stream_events(recorder.trace())
+        assert [e["kind"] for e in events] == ["spawn", "spawn_slice"]
+        first, second = events
+        assert first["entropy"] == 7
+        assert first["spawn_key"] == []
+        assert first["base"] == 0 and first["count"] == 3
+        assert second["entropy"] == 9
+        assert (second["start"], second["stop"], second["total"]) == (1, 3, 6)
+
+    def test_spawn_counter_advances_across_calls(self):
+        recorder = StreamTraceRecorder(label="t")
+        gen = np.random.default_rng(3)
+        with recorder.activate():
+            spawn_seeds(gen, 2)
+            spawn_seeds(gen, 2)
+        bases = [e["base"] for e in stream_events(recorder.trace())]
+        assert bases == [0, 2]
+
+    def test_stack_provenance_attached_but_not_compared(self):
+        recorder = StreamTraceRecorder(label="t")
+        with recorder.activate():
+            spawn(np.random.default_rng(0))
+        event = stream_events(recorder.trace())[0]
+        assert event["stack"], "expected captured provenance frames"
+        assert any("test_sanitize" in frame for frame in event["stack"])
+        assert "stack" not in canonical_event(event)
+
+    def test_cache_channel_recorded_separately(self):
+        recorder = StreamTraceRecorder(label="t")
+        with recorder.activate():
+            record_cache_event("cache_miss", cache_kind="failure_estimate",
+                               key="abc123")
+        trace = recorder.trace()
+        assert stream_events(trace) == []
+        [event] = cache_events(trace)
+        assert event["kind"] == "cache_miss" and event["key"] == "abc123"
+
+    def test_probe_cache_lookups_reach_the_recorder(self, tmp_path):
+        cache = ProbeCache(tmp_path)
+        recorder = StreamTraceRecorder(label="t")
+        with recorder.activate():
+            failure_estimate(_family(), _instance(), 0.3, 6,
+                             rng=np.random.default_rng(1), cache=cache)
+        kinds = {e["kind"] for e in cache_events(recorder.trace())}
+        assert "cache_miss" in kinds and "cache_put" in kinds
+
+
+class TestCheckTrace:
+    def test_one_live_parent_never_overlaps(self):
+        recorder = StreamTraceRecorder(label="t")
+        gen = np.random.default_rng(3)
+        with recorder.activate():
+            spawn_seeds(gen, 4)
+            spawn_seeds(gen, 4)
+        assert check_trace(recorder.trace()) == []
+
+    def test_rebuilt_parent_double_consumption_detected(self):
+        # Two distinct SeedSequence objects at the same spawn-tree
+        # position: the classic race that silently correlates trials.
+        recorder = StreamTraceRecorder(label="t")
+        with recorder.activate():
+            spawn_seeds(np.random.default_rng(7), 2)
+            spawn_seeds(np.random.default_rng(7), 2)
+        faults = check_trace(recorder.trace())
+        assert [fault.kind for fault in faults] == ["double-consumption"]
+        assert "handed out twice" in faults[0].detail
+
+    def test_disjoint_shard_slices_are_legitimate(self):
+        recorder = StreamTraceRecorder(label="t")
+        with recorder.activate():
+            spawn_slice(np.random.default_rng(7), 0, 2, total=4)
+            spawn_slice(np.random.default_rng(7), 2, 4, total=4)
+        assert check_trace(recorder.trace()) == []
+
+    def test_overlapping_shard_slices_detected(self):
+        recorder = StreamTraceRecorder(label="t")
+        with recorder.activate():
+            spawn_slice(np.random.default_rng(7), 0, 3, total=4)
+            spawn_slice(np.random.default_rng(7), 2, 4, total=4)
+        faults = check_trace(recorder.trace())
+        assert [fault.kind for fault in faults] == ["double-consumption"]
+        assert "[2, 3)" in faults[0].detail
+
+
+class TestDiffTraces:
+    def test_identical_traces_agree(self):
+        assert diff_traces([_spawn_event(0)], [_spawn_event(0)]) is None
+
+    def test_provenance_differences_are_ignored(self):
+        reference = [_spawn_event(0, stack=["cold.py:1:run"])]
+        candidate = [_spawn_event(0, stack=["hit.py:9:replay"])]
+        assert diff_traces(reference, candidate) is None
+
+    def test_draw_count_drift_classified(self):
+        divergence = diff_traces([_spawn_event(0)], [_spawn_event(2)],
+                                 axis="workers=4")
+        assert divergence is not None
+        assert divergence.kind == "draw-count-drift"
+        assert divergence.axis == "workers=4"
+        assert "spawn counter 2 instead of 0" in divergence.detail
+
+    def test_different_parent_is_stream_divergence(self):
+        divergence = diff_traces([_spawn_event(0, entropy=7)],
+                                 [_spawn_event(0, entropy=8)])
+        assert divergence is not None
+        assert divergence.kind == "stream-divergence"
+
+    def test_length_mismatch_reported_at_first_missing_event(self):
+        reference = [_spawn_event(0), _spawn_event(2)]
+        divergence = diff_traces(reference, reference[:1])
+        assert divergence is not None
+        assert divergence.kind == "missing-events" and divergence.index == 1
+        extra = diff_traces(reference[:1], reference)
+        assert extra is not None and extra.kind == "extra-events"
+
+
+class TestReplayGenerator:
+    def test_replay_spawns_bit_identical_children(self):
+        gen = np.random.default_rng(123)
+        spawn(gen)
+        spawn(gen)
+        replay = replay_generator(seed_fingerprint(gen))
+        expected = spawn(gen).integers(0, 2**63)
+        assert spawn(replay).integers(0, 2**63) == expected
+
+    def test_raw_state_generator_rejected(self, monkeypatch):
+        monkeypatch.setattr("repro.sanitize.runtime.seed_fingerprint",
+                            lambda gen: None)
+        with pytest.raises(DeterminismError, match="raw bit-generator"):
+            sanitized_rerun("probe", lambda gen, workers, cache: 0.0,
+                            rng=np.random.default_rng(0))
+
+
+class TestSanitizedHook:
+    def test_failure_estimate_matches_plain_and_stream_transparent(self):
+        family, instance = _family(), _instance()
+        plain_rng = np.random.default_rng(42)
+        plain = failure_estimate(family, instance, 0.3, 12, rng=plain_rng)
+        sanitized_rng = np.random.default_rng(42)
+        checked = failure_estimate(family, instance, 0.3, 12,
+                                   rng=sanitized_rng, sanitized=True)
+        assert checked == plain
+        # The caller's generator ends in the same state either way.
+        assert seed_fingerprint(sanitized_rng) == seed_fingerprint(plain_rng)
+
+    def test_distortion_samples_sanitized_across_workers(self):
+        family, instance = _family(), _instance()
+        plain = distortion_samples(family, instance, 10,
+                                   rng=np.random.default_rng(9))
+        checked = distortion_samples(family, instance, 10,
+                                     rng=np.random.default_rng(9),
+                                     workers=2, sanitized=True)
+        assert np.asarray(checked).tobytes() == np.asarray(plain).tobytes()
+
+    def test_minimal_m_sanitized_matches_plain(self):
+        family, instance = _family(), _instance()
+        plain = minimal_m(family, instance, 0.5, 0.25, trials=8, m_min=8,
+                          rng=np.random.default_rng(1))
+        checked = minimal_m(family, instance, 0.5, 0.25, trials=8, m_min=8,
+                            rng=np.random.default_rng(1), sanitized=True)
+        assert checked == plain
+
+    def test_sanitized_passes_on_warm_cache(self, tmp_path):
+        family, instance = _family(), _instance()
+        cache = ProbeCache(tmp_path)
+        failure_estimate(family, instance, 0.3, 12,
+                         rng=np.random.default_rng(5), cache=cache)
+        checked = failure_estimate(family, instance, 0.3, 12,
+                                   rng=np.random.default_rng(5), cache=cache,
+                                   workers=2, sanitized=True)
+        plain = failure_estimate(family, instance, 0.3, 12,
+                                 rng=np.random.default_rng(5))
+        assert checked == plain
+
+    def test_sanitized_rejects_shard_passes(self):
+        with pytest.raises(ValueError, match="sanitized= cannot be combined"):
+            failure_estimate(_family(), _instance(), 0.3, 12,
+                             rng=np.random.default_rng(0),
+                             shard=ShardSpec(index=0, count=2),
+                             sanitized=True)
+
+
+class TestFaultInjection:
+    def test_double_consumed_child_stream_caught(self):
+        # A workload that rebuilds "the same" parent twice instead of
+        # threading one generator: both spawns occupy spawn-tree slot 0.
+        def racy(gen, workers, cache):
+            first = spawn_seeds(np.random.default_rng(11), 2)
+            second = spawn_seeds(np.random.default_rng(11), 2)
+            return float(len(first) + len(second))
+
+        with pytest.raises(DeterminismError,
+                           match="double-consumed child stream"):
+            sanitized_rerun("racy_probe", racy,
+                            rng=np.random.default_rng(0))
+
+    def test_dropped_spec_field_caught_as_result_mismatch(self, tmp_path,
+                                                          monkeypatch):
+        # Re-create the PR 6 bug class: a result-shaping parameter
+        # (epsilon here) silently missing from the cache spec, so two
+        # distinct probes collide on one key.  The sanitizer's serial
+        # cache-off replay computes the true value and flags the stale
+        # cached bytes.
+        real_spec = tester._probe_spec
+
+        def leaky_spec(family, instance, fingerprint, trials, **params):
+            params.pop("epsilon", None)
+            return real_spec(family, instance, fingerprint, trials, **params)
+
+        monkeypatch.setattr(tester, "_probe_spec", leaky_spec)
+        # A Gaussian sketch's distortions are continuous, so epsilon
+        # genuinely shapes the estimate (CountSketch-on-DBeta distortion
+        # is the binary collision indicator and would mask the fault).
+        family, instance = GaussianSketch(m=12, n=64), _instance()
+        cache = ProbeCache(tmp_path)
+        polluting = failure_estimate(family, instance, 0.05, 12,
+                                     rng=np.random.default_rng(3),
+                                     cache=cache)
+        honest = failure_estimate(family, instance, 0.9, 12,
+                                  rng=np.random.default_rng(3))
+        assert polluting != honest, "fixture epsilons must disagree"
+        with pytest.raises(DeterminismError, match="results differ"):
+            failure_estimate(family, instance, 0.9, 12,
+                             rng=np.random.default_rng(3), cache=cache,
+                             sanitized=True)
+
+    def test_nan_metric_fails_at_the_emit_site(self, tmp_path):
+        result = ExperimentResult(experiment_id="EX", title="nan probe")
+        result.metrics["exponent"] = float("nan")
+        with pytest.raises(ValueError):
+            result.save_json(tmp_path / "result.json")
+
+
+class TestCli:
+    def test_nonpositive_axis_exits_two(self, capsys):
+        assert sanitize_main(["run", "--workers", "0", "--", "E1"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_missing_experiment_exits_two(self, capsys):
+        assert sanitize_main(["run", "--"]) == 2
+        assert "no experiment selected" in capsys.readouterr().err
+
+    def test_unknown_experiment_exits_two(self, capsys):
+        assert sanitize_main(["run", "--", "E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
