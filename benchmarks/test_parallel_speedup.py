@@ -8,12 +8,12 @@ cannot be amortized without real parallel hardware), but the determinism
 assertion still runs everywhere via tests/test_utils_parallel.py.
 """
 
-import os
 import time
 
 import pytest
 
 from repro.core.tester import failure_estimate
+from repro.utils.parallel import available_cpus
 from repro.hardinstances.dbeta import DBeta
 from repro.sketch.countsketch import CountSketch
 
@@ -34,8 +34,8 @@ def _timed_estimate(workers):
 
 
 @pytest.mark.skipif(
-    (os.cpu_count() or 1) < REQUIRED_CPUS,
-    reason=f"needs ≥{REQUIRED_CPUS} CPUs to demonstrate speedup",
+    available_cpus() < REQUIRED_CPUS,
+    reason=f"needs ≥{REQUIRED_CPUS} available CPUs to demonstrate speedup",
 )
 def test_four_worker_speedup():
     serial_est, serial_time = _timed_estimate(workers=1)

@@ -1,0 +1,93 @@
+"""Quickstart for the estimation server — also the CI smoke driver.
+
+Start a server (in another terminal, or let this script do it)::
+
+    PYTHONPATH=src python -m repro.serve --port 8400 --cache-dir cache/
+
+then::
+
+    PYTHONPATH=src python examples/serve_quickstart.py http://127.0.0.1:8400
+
+The script issues the same ``failure_estimate`` request twice and checks
+the serving contract end to end:
+
+* the second response is answered from the shared probe cache
+  (``cache.misses == 0``);
+* its ``result`` payload is byte-identical to the cold one — the cache
+  is invisible to results;
+* the ``replay`` envelope names the exact offline computation
+  (seed fingerprint + normalized params), so either response can be
+  reproduced without the server.
+
+Exits nonzero on any violated expectation (CI treats this as the smoke
+gate's verdict).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.serve.client import ServeClient
+
+REQUEST = {
+    "family": {"type": "CountSketch", "params": {"m": 16, "n": 64}},
+    "instance": {"type": "PermutedIdentity", "n": 64, "d": 4},
+    "epsilon": 0.5,
+    "trials": 60,
+    "seed": 0,
+}
+
+
+def main(argv: list) -> int:
+    base_url = argv[0] if argv else "http://127.0.0.1:8400"
+    client = ServeClient(base_url)
+
+    health = client.healthz()
+    print(f"healthz: {health['status']} "
+          f"(inflight {health['inflight']}/{health['max_inflight']})")
+    if health["status"] != "ok":
+        print("FAIL: server is not healthy", file=sys.stderr)
+        return 1
+
+    cold = client.call("failure_estimate", REQUEST)
+    print(f"cold:  {cold['result']['successes']}/"
+          f"{cold['result']['trials']} failures, "
+          f"cache {cold['cache']}")
+
+    warm = client.call("failure_estimate", REQUEST)
+    print(f"warm:  {warm['result']['successes']}/"
+          f"{warm['result']['trials']} failures, "
+          f"cache {warm['cache']}")
+
+    failures = []
+    if warm["cache"]["misses"] != 0 or warm["cache"]["hits"] < 1:
+        failures.append(
+            f"warm request was not served from cache: {warm['cache']}"
+        )
+    cold_bytes = json.dumps(cold["result"], sort_keys=True)
+    warm_bytes = json.dumps(warm["result"], sort_keys=True)
+    if cold_bytes != warm_bytes:
+        failures.append("warm result payload differs from cold")
+    if cold["replay"]["seed_fingerprint"] is None:
+        failures.append("response carries no seed fingerprint")
+    if cold["replay"]["key"] != warm["replay"]["key"]:
+        failures.append("identical requests hashed to different keys")
+
+    fingerprint = cold["replay"]["seed_fingerprint"]
+    print(f"replay: seed={cold['replay']['seed']} "
+          f"entropy={fingerprint['entropy']} "
+          f"key={cold['replay']['key'][:16]}…")
+
+    metrics = client.metrics()
+    print(f"metrics: {metrics['server']}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("OK: warm hit, byte-identical result, replayable")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

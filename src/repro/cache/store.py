@@ -14,11 +14,15 @@ pool comes from two properties:
   refuses appends from any process other than the one that opened it —
   a forked worker inheriting the handle cannot write duplicate or torn
   lines;
-* each record is written with a single buffered ``write`` + ``flush`` of
-  one ``\\n``-terminated line to a file opened in append mode, so
-  concurrent *separate* CLI processes sharing one cache directory
-  interleave whole lines.  Duplicate keys are harmless — both lines hold
-  the same value by construction and the loader keeps the last.
+* each record is written as **one ``os.write`` of a whole
+  ``\\n``-terminated line to an ``O_APPEND`` file descriptor**, so
+  concurrent *separate* processes sharing one cache directory — a server
+  worker and a CLI run, or N shard passes — append atomically and can
+  never tear each other's lines (POSIX serializes the implicit
+  seek+write of ``O_APPEND`` writes; buffered handles, by contrast, may
+  flush a line in several syscalls and interleave fragments).  Duplicate
+  keys are harmless — both lines hold the same value by construction and
+  the loader keeps the last.
 """
 
 from __future__ import annotations
@@ -26,7 +30,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import IO, Any, Dict, Iterator, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 from ..utils.serialization import json_default
 
@@ -39,7 +43,7 @@ class JsonlStore:
     def __init__(self, path: Union[str, Path]) -> None:
         self._path = Path(path)
         self._pid = os.getpid()
-        self._handle: Optional[IO[str]] = None
+        self._fd: Optional[int] = None
 
     @property
     def path(self) -> Path:
@@ -80,17 +84,30 @@ class JsonlStore:
         would ever read the line back (``canonical_json`` already rejects
         them on the key side).  The line is serialized *before* touching
         the file, so a rejected record leaves the store unchanged.
+
+        The write itself is a single ``os.write`` on an ``O_APPEND``
+        descriptor: the kernel serializes the seek+write atomically, so
+        records appended concurrently from several processes (a server
+        worker plus a CLI run on the same cache directory) land as whole
+        lines in some order, never interleaved mid-line.
         """
         if os.getpid() != self._pid:
             return
         line = json.dumps(record, sort_keys=True, allow_nan=False,
                           default=json_default)
+        data = (line + "\n").encode("utf-8")
         self._path.parent.mkdir(parents=True, exist_ok=True)
-        if self._handle is None:
+        if self._fd is None:
             self._trim_torn_tail()
-            self._handle = open(self._path, "a", encoding="utf-8")
-        self._handle.write(line + "\n")
-        self._handle.flush()
+            self._fd = os.open(
+                str(self._path),
+                os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                0o666,
+            )
+        written = os.write(self._fd, data)
+        while written < len(data):  # pragma: no cover - short regular-file
+            # writes essentially never happen; loop for POSIX correctness.
+            written += os.write(self._fd, data[written:])
 
     def _trim_torn_tail(self) -> None:
         """Drop a torn final line before the first append of this handle.
@@ -112,10 +129,10 @@ class JsonlStore:
             handle.truncate(data.rfind(b"\n") + 1)
 
     def close(self) -> None:
-        """Release the append handle (idempotent; reopened on demand)."""
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        """Release the append descriptor (idempotent; reopened on demand)."""
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
 
     def __iter__(self) -> Iterator[Dict[str, Any]]:
         return iter(self.load())

@@ -22,7 +22,7 @@ bit-identical results and identical deterministic event views
 (:func:`deterministic_view`).
 """
 
-from .counters import Counters, add_count, counters
+from .counters import Counters, add_count, counters, use_counters
 from .ledger import (
     EXECUTION_KINDS,
     TIMING_FIELDS,
@@ -49,5 +49,6 @@ __all__ = [
     "read_event_segments",
     "read_events",
     "trace",
+    "use_counters",
     "use_ledger",
 ]

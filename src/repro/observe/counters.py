@@ -12,6 +12,15 @@ serial and parallel runs of the same workload.  :meth:`Experiment.run
 <repro.experiments.harness.Experiment.run>` exposes the per-run delta as
 ``count_*`` entries on ``ExperimentResult.metrics``.
 
+Concurrent *threads* in one process (the estimation server runs each
+request in a thread) would cross-pollute a single global: request A's
+snapshot/diff would absorb request B's increments, poisoning both the
+``count_*`` metrics and the counter deltas the probe cache stores for
+warm replay.  :func:`use_counters` scopes a request-local aggregate via a
+``ContextVar`` — ``asyncio.to_thread`` copies the calling context, so
+everything a request computes counts into its own aggregate, exactly as
+a dedicated process would.
+
 This module deliberately imports nothing from the rest of the library so
 the hot-path modules (``sketch/``, ``utils/parallel.py``) can depend on it
 without import cycles.
@@ -19,9 +28,11 @@ without import cycles.
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 from typing import Dict, Iterator, Mapping, Optional
 
-__all__ = ["Counters", "counters", "add_count"]
+__all__ = ["Counters", "counters", "add_count", "use_counters"]
 
 
 class Counters:
@@ -81,12 +92,40 @@ class Counters:
 #: serial/parallel merge discipline.
 _GLOBAL = Counters()
 
+#: Scoped override installed by :func:`use_counters`; ``None`` means the
+#: process-global aggregate is in effect.
+_SCOPED: "contextvars.ContextVar[Optional[Counters]]" = \
+    contextvars.ContextVar("repro_counters", default=None)
+
 
 def counters() -> Counters:
-    """The process-global :class:`Counters` aggregate."""
-    return _GLOBAL
+    """The current :class:`Counters` aggregate.
+
+    The process-global one unless a :func:`use_counters` scope is active
+    in the calling context.
+    """
+    scoped = _SCOPED.get()
+    return scoped if scoped is not None else _GLOBAL
 
 
 def add_count(name: str, by: int = 1) -> None:
-    """Bump the process-global counter ``name`` — the hot-path entry point."""
-    _GLOBAL.increment(name, by)
+    """Bump the current counter ``name`` — the hot-path entry point."""
+    counters().increment(name, by)
+
+
+@contextlib.contextmanager
+def use_counters(aggregate: Counters) -> Iterator[Counters]:
+    """Route :func:`add_count`/:func:`counters` to ``aggregate``.
+
+    The override is context-local: other threads and asyncio tasks keep
+    their own view, and ``asyncio.to_thread`` work started inside the
+    scope inherits it (the context is copied into the worker thread).
+    The caller owns the aggregate — fold it into the global with
+    :meth:`Counters.merge` afterwards if process totals should include
+    the scoped work.
+    """
+    token = _SCOPED.set(aggregate)
+    try:
+        yield aggregate
+    finally:
+        _SCOPED.reset(token)

@@ -35,6 +35,7 @@ import contextvars
 import json
 import os
 import sys
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, IO, Iterator, List, Optional, Union
@@ -66,9 +67,10 @@ EXECUTION_KINDS = frozenset({
 #: Per-event fields that carry wall-clock or process identity and are
 #: stripped from the deterministic view.  ``shard`` is identity, not
 #: payload: an N-shard run merged back together must produce the same
-#: view as a serial run (see :mod:`repro.shard`).
-TIMING_FIELDS = frozenset({"t", "elapsed", "worker", "workers", "pid",
-                           "shard"})
+#: view as a serial run (see :mod:`repro.shard`).  ``mono`` is the
+#: monotonic companion of ``t`` (see :meth:`RunLedger.emit`).
+TIMING_FIELDS = frozenset({"t", "mono", "elapsed", "worker", "workers",
+                           "pid", "shard"})
 
 
 def _json_default(value: Any) -> Any:
@@ -129,6 +131,11 @@ class RunLedger:
         self._handle: Optional[IO[str]] = None
         self._closed = False
         self._token: Optional[contextvars.Token] = None
+        # Reentrant because ``emit`` flushes inline once the buffer fills.
+        # The estimation server emits from several compute threads into
+        # one shared request-log ledger; without the lock, two threads
+        # could interleave buffer appends and flushes into torn lines.
+        self._lock = threading.RLock()
 
     @property
     def path(self) -> Optional[Path]:
@@ -140,24 +147,38 @@ class RunLedger:
         return list(self._events)
 
     def emit(self, kind: str, **fields: Any) -> None:
-        """Record one event; a no-op after close and in forked children."""
+        """Record one event; a no-op after close and in forked children.
+
+        Events carry two clocks: ``t`` (``time.time``) for display, and
+        ``mono`` (``time.perf_counter``) for durations.  Wall clock can
+        step backwards (NTP corrections), which used to make ``summarize``
+        compute negative spans from ``t`` differences; ``mono`` is
+        monotonic within a process, so intra-process intervals derived
+        from it are always nonnegative.  ``mono`` has no meaningful epoch
+        and is only comparable between events with the same ``pid``.
+        """
         if self._closed or os.getpid() != self._pid:
             return
-        event: Dict[str, Any] = {"t": time.time(), "kind": kind,
-                                 "pid": self._pid}
+        event: Dict[str, Any] = {"t": time.time(),
+                                 "mono": time.perf_counter(),
+                                 "kind": kind, "pid": self._pid}
         if self._shard is not None:
             event.setdefault("shard", self._shard)
         event.update(fields)
-        if self._keep:
-            self._events.append(event)
-        if self._path is not None:
-            # allow_nan=False: a non-finite field would otherwise write a
-            # nonstandard NaN/Infinity token that only Python's lenient
-            # parser reads back — fail at the emit site instead.
-            self._buffer.append(json.dumps(event, allow_nan=False,
-                                           default=_json_default))
-            if len(self._buffer) >= self._buffer_lines:
-                self.flush()
+        with self._lock:
+            if self._closed:
+                return
+            if self._keep:
+                self._events.append(event)
+            if self._path is not None:
+                # allow_nan=False: a non-finite field would otherwise
+                # write a nonstandard NaN/Infinity token that only
+                # Python's lenient parser reads back — fail at the emit
+                # site instead.
+                self._buffer.append(json.dumps(event, allow_nan=False,
+                                               default=_json_default))
+                if len(self._buffer) >= self._buffer_lines:
+                    self.flush()
         if self._progress:
             line = _progress_line(event)
             if line is not None:
@@ -165,23 +186,25 @@ class RunLedger:
 
     def flush(self) -> None:
         """Write buffered lines through to disk."""
-        if not self._buffer or self._path is None:
-            return
-        if self._handle is None:
-            self._handle = open(self._path, "a", encoding="utf-8")
-        self._handle.write("\n".join(self._buffer) + "\n")
-        self._handle.flush()
-        self._buffer.clear()
+        with self._lock:
+            if not self._buffer or self._path is None:
+                return
+            if self._handle is None:
+                self._handle = open(self._path, "a", encoding="utf-8")
+            self._handle.write("\n".join(self._buffer) + "\n")
+            self._handle.flush()
+            self._buffer.clear()
 
     def close(self) -> None:
         """Flush and stop accepting events (idempotent)."""
-        if self._closed:
-            return
-        self.flush()
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            self.flush()
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            self._closed = True
 
     def __enter__(self) -> "RunLedger":
         self._token = _CURRENT.set(self)

@@ -37,7 +37,7 @@ __all__ = ["summarize", "summarize_path", "summarize_paths"]
 
 #: Event fields that identify/timestamp rather than count; skipped when
 #: folding ``counters`` events into per-experiment aggregates.
-_NON_COUNTER_FIELDS = ("t", "kind", "experiment", "pid", "shard")
+_NON_COUNTER_FIELDS = ("t", "mono", "kind", "experiment", "pid", "shard")
 
 
 class _Search:
@@ -53,8 +53,10 @@ class _Search:
 class _Experiment:
     """Accumulator for one ``experiment_start`` … ``experiment_end`` span."""
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str,
+                 start: Optional[Dict[str, Any]] = None) -> None:
         self.name = name
+        self.start: Dict[str, Any] = start or {}
         self.end: Optional[Dict[str, Any]] = None
         self.probes = 0
         self.trials = 0
@@ -66,6 +68,45 @@ class _Experiment:
 
 def _fmt_seconds(value: Any) -> str:
     return f"{float(value):.2f}" if value is not None else "?"
+
+
+def _clamp_negative_intervals(
+    events: List[Dict[str, Any]],
+) -> Tuple[List[Dict[str, Any]], int]:
+    """Copy events, clamping negative ``elapsed`` fields to ``0.0``.
+
+    Legacy ledgers timed spans by differencing ``time.time()``; a
+    wall-clock step (NTP correction) mid-span could record a negative
+    interval.  Current emitters stamp ``mono`` and derive durations from
+    it, but ``summarize`` must render old ledgers too — so negative
+    intervals are clamped rather than propagated into totals, and the
+    renderer reports how many were clamped so a repaired summary is never
+    mistaken for a clean one.
+    """
+    cleaned: List[Dict[str, Any]] = []
+    clamped = 0
+    for event in events:
+        value = event.get("elapsed")
+        if isinstance(value, (int, float)) and value < 0:
+            event = {**event, "elapsed": 0.0}
+            clamped += 1
+        cleaned.append(event)
+    return cleaned, clamped
+
+
+def _mono_span(start: Dict[str, Any], end: Dict[str, Any]) -> Optional[float]:
+    """Duration between two events via their monotonic stamps, if valid.
+
+    ``mono`` has no shared epoch across processes, so the stamps are only
+    comparable when both events carry the same ``pid``.
+    """
+    if start.get("pid") != end.get("pid"):
+        return None
+    try:
+        span = float(end["mono"]) - float(start["mono"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    return span if span >= 0 else None
 
 
 def _stream_key(event: Dict[str, Any]) -> Optional[Tuple[Any, ...]]:
@@ -127,6 +168,7 @@ def summarize(events: List[Dict[str, Any]]) -> str:
 
 def _render_stream(events: List[Dict[str, Any]]) -> str:
     """Render one process's event stream (the pre-shard ``summarize``)."""
+    events, clamped = _clamp_negative_intervals(events)
     experiments: List[_Experiment] = []
     searches: List[_Search] = []
     spans: Dict[str, List[float]] = {}
@@ -143,7 +185,7 @@ def _render_stream(events: List[Dict[str, Any]]) -> str:
         if kind == "cli_start":
             header = event
         elif kind == "experiment_start":
-            current_exp = _Experiment(str(event.get("experiment")))
+            current_exp = _Experiment(str(event.get("experiment")), event)
             experiments.append(current_exp)
         elif kind == "experiment_end":
             if current_exp is not None:
@@ -209,6 +251,8 @@ def _render_stream(events: List[Dict[str, Any]]) -> str:
     for exp in experiments:
         status = "done" if exp.end is not None else "INCOMPLETE"
         elapsed = exp.end.get("elapsed") if exp.end is not None else None
+        if elapsed is None and exp.end is not None:
+            elapsed = _mono_span(exp.start, exp.end)
         overview.add_row([
             exp.name, status, exp.searches, exp.probes, exp.trials,
             _fmt_seconds(elapsed) if elapsed is not None else "?",
@@ -293,10 +337,16 @@ def _render_stream(events: List[Dict[str, Any]]) -> str:
             table.add_row([name, exp.counters[name]])
         parts.append(table.render())
 
-    parts.append(
+    footer = (
         f"({len(events)} events, {len(experiments)} experiments, "
         f"{len(searches)} searches, {batches} trial batches)"
     )
+    if clamped:
+        footer += (
+            f"\nWARNING: {clamped} negative interval(s) clamped to 0.00 "
+            f"(wall-clock step in a legacy ledger)"
+        )
+    parts.append(footer)
     return "\n\n".join(parts)
 
 

@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..experiments.registry import run_experiment
 from ..shard import sharded_call
+from ..utils.parallel import resolve_workers
 from ..utils.serialization import json_default, to_builtin
 from .diff import Divergence, cache_events, check_trace, diff_traces, \
     format_divergence, stream_events
@@ -72,7 +73,15 @@ def sanitize_experiment(experiment_id: str, *, scale: float = 0.05,
     zero divergences and reproduced the expected result bytes.
     ``shard_dir`` overrides the temporary directory the shard axis uses
     for its probe stores (useful when inspecting a failure).
+
+    ``workers`` sizes the parallel candidate's pool; ``0``/``None`` means
+    all *available* CPUs, and explicit values are clamped to the process's
+    scheduler affinity (:func:`repro.utils.parallel.available_cpus`) — a
+    cpuset-limited container never fans out past its actual CPU slice.
+    The clamp cannot change any compared value: results are bit-identical
+    across ``workers`` settings by the trial-engine contract.
     """
+    workers = min(resolve_workers(workers), resolve_workers(0))
     axes: List[Dict[str, Any]] = []
 
     def run_traced(label: str, **kwargs: Any

@@ -1,0 +1,103 @@
+"""Entrypoint: ``python -m repro.serve``.
+
+Starts the estimation server and runs until SIGTERM/SIGINT, then drains
+in-flight work before exiting (a second signal is not needed — the gate
+refuses new computations the moment draining begins).
+
+The bound address is printed to stdout as ``serving on http://H:P``
+before requests are accepted, so callers using ``--port 0`` (tests, the
+CI smoke job) can discover the OS-assigned port by reading one line.
+
+Exit codes: ``0`` clean shutdown, ``2`` usage error (argparse).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .http import ServeHTTP
+from .service import EstimationService
+
+__all__ = ["main"]
+
+#: Default name of the request-log ledger inside ``--cache-dir``.
+LEDGER_FILENAME = "serve-ledger.jsonl"
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        )
+    return value
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve failure_estimate/minimal_m/... over HTTP with "
+                    "a shared probe cache.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8400,
+                        help="bind port; 0 = OS-assigned "
+                             "(default: 8400)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="probe-cache directory shared with CLI runs; "
+                             "omitted = no warm store")
+    parser.add_argument("--ledger", type=Path, default=None,
+                        help="request-log ledger path (default: "
+                             f"<cache-dir>/{LEDGER_FILENAME} when "
+                             "--cache-dir is given, else no ledger)")
+    parser.add_argument("--max-inflight", type=_positive_int, default=4,
+                        help="bound on distinct concurrent computations; "
+                             "excess requests get 429 (default: 4)")
+    parser.add_argument("--workers", type=_positive_int, default=1,
+                        help="trial-engine workers per computation "
+                             "(default: 1)")
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    ledger_path: Optional[Path] = args.ledger
+    if ledger_path is None and args.cache_dir is not None:
+        ledger_path = args.cache_dir / LEDGER_FILENAME
+    if ledger_path is not None:
+        ledger_path.parent.mkdir(parents=True, exist_ok=True)
+    service = EstimationService(
+        args.cache_dir, ledger_path=ledger_path,
+        max_inflight=args.max_inflight, workers=args.workers,
+    )
+    server = ServeHTTP(service, host=args.host, port=args.port)
+    await server.start()
+    host, port = server.address
+    print(f"serving on http://{host}:{port}", flush=True)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            loop.add_signal_handler(signum, stop.set)
+    try:
+        await server.serve_until(stop)
+    finally:
+        service.close()
+    print("drained; bye", flush=True)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return asyncio.run(_serve(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

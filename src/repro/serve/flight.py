@@ -1,0 +1,131 @@
+"""Single-flight coalescing and backpressure for the estimation service.
+
+Monte-Carlo probes are expensive and content-addressed: two requests with
+the same canonical key are *guaranteed* the same answer (that is the
+cache's correctness contract), so running them concurrently is pure
+waste.  The :class:`SingleFlightGate` holds a ``dict[key,
+asyncio.Future]`` pending pool — the first request for a key becomes the
+**leader** and computes; every request that arrives for the same key
+while the leader is in flight becomes a **follower** and awaits the
+leader's future, consuming no compute slot.
+
+Backpressure is a bound on *leaders only*: a new computation beyond
+``max_inflight`` is rejected with :class:`Overloaded` (the HTTP layer
+renders a 429 with ``Retry-After``), while followers always attach —
+rejecting a request whose answer is already being computed would be
+strictly worse for everyone.
+
+Shutdown support: :meth:`SingleFlightGate.drain` stops new leaders
+(:class:`Draining`) and waits for every in-flight future, so a server can
+finish the work it accepted before exiting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, List, Tuple
+
+__all__ = ["Draining", "Overloaded", "SingleFlightGate"]
+
+
+class Overloaded(RuntimeError):
+    """Too many distinct computations in flight (HTTP 429).
+
+    ``retry_after`` is the hint, in seconds, rendered as the response's
+    ``Retry-After`` header.
+    """
+
+    def __init__(self, inflight: int, limit: int,
+                 retry_after: float = 1.0) -> None:
+        super().__init__(
+            f"{inflight} computations in flight (limit {limit}); "
+            f"retry in {retry_after:g}s"
+        )
+        self.inflight = inflight
+        self.limit = limit
+        self.retry_after = retry_after
+
+
+class Draining(RuntimeError):
+    """The gate is shutting down and accepts no new computations."""
+
+    def __init__(self) -> None:
+        super().__init__("service is draining; no new computations "
+                         "accepted")
+
+
+class SingleFlightGate:
+    """Coalesce concurrent identical computations; bound distinct ones."""
+
+    def __init__(self, max_inflight: int) -> None:
+        if max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be positive, got {max_inflight}"
+            )
+        self._max_inflight = max_inflight
+        self._pending: Dict[str, "asyncio.Future[Any]"] = {}
+        self._draining = False
+
+    @property
+    def inflight(self) -> int:
+        """Number of distinct computations currently executing."""
+        return len(self._pending)
+
+    @property
+    def max_inflight(self) -> int:
+        return self._max_inflight
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def run(self, key: str,
+                  thunk: Callable[[], Awaitable[Any]]
+                  ) -> Tuple[Any, bool]:
+        """Run ``thunk`` under ``key``; returns ``(result, coalesced)``.
+
+        ``coalesced`` is ``True`` when this call attached to another
+        caller's in-flight computation instead of executing ``thunk``.
+        A leader's exception propagates to every follower.  Raises
+        :class:`Overloaded` when a *new* computation would exceed the
+        inflight bound, and :class:`Draining` after :meth:`drain` began —
+        followers are exempt from both.
+        """
+        existing = self._pending.get(key)
+        if existing is not None:
+            return await asyncio.shield(existing), True
+        if self._draining:
+            raise Draining()
+        if len(self._pending) >= self._max_inflight:
+            raise Overloaded(len(self._pending), self._max_inflight)
+        future: "asyncio.Future[Any]" = \
+            asyncio.get_running_loop().create_future()
+        self._pending[key] = future
+        try:
+            result = await thunk()
+        except BaseException as exc:
+            future.set_exception(exc)
+            # Retrieve once so a leader-only failure (zero followers)
+            # never logs an "exception was never retrieved" warning.
+            future.exception()
+            raise
+        else:
+            future.set_result(result)
+            return result, False
+        finally:
+            self._pending.pop(key, None)
+
+    async def drain(self) -> None:
+        """Refuse new leaders and wait for all in-flight computations.
+
+        Idempotent; followers already attached to pending futures are
+        unaffected and complete normally.
+        """
+        self._draining = True
+        while self._pending:
+            futures: List["asyncio.Future[Any]"] = \
+                list(self._pending.values())
+            await asyncio.gather(*futures, return_exceptions=True)
+            # A leader removes its key only after its future resolves;
+            # yield once so the pending pool reflects those removals.
+            await asyncio.sleep(0)

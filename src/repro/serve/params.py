@@ -1,0 +1,251 @@
+"""Request-parameter validation for the estimation service.
+
+The service accepts sketch families and hard instances as their canonical
+``spec()`` dictionaries — exactly the JSON shapes that already name probes
+in the content-addressed cache (:mod:`repro.cache.keys`).  This module
+turns a spec back into a live object, restricted to a fixed registry of
+constructible types, and **verifies the round trip**: the rebuilt object's
+own ``spec()`` must re-serialize to the request's canonical JSON.  That
+one check subsumes a field-by-field validator — an unknown key, a wrong
+type, or a value a constructor normalizes differently all surface as a
+round-trip mismatch and reject the request before any trial runs.
+
+Validation failures raise :class:`BadRequest`, which the HTTP layer maps
+to a 400 response; nothing here ever reaches a 500.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Dict, List, Optional, Type
+
+from ..cache.keys import canonical_json
+from ..hardinstances import (
+    DBeta,
+    HardInstance,
+    MixtureInstance,
+    PermutedIdentity,
+    SpikedSubspace,
+)
+from ..sketch import (
+    CountSketch,
+    GaussianSketch,
+    HadamardBlockSketch,
+    LeverageSampling,
+    OSNAP,
+    RowSampling,
+    SketchFamily,
+    SparseJL,
+    SRHT,
+)
+
+__all__ = [
+    "BadRequest",
+    "FAMILIES",
+    "INSTANCES",
+    "family_from_spec",
+    "instance_from_spec",
+    "optional_field",
+    "require",
+    "require_positive_int",
+    "require_positive_float",
+]
+
+
+class BadRequest(ValueError):
+    """A request parameter failed validation (HTTP 400, never 500)."""
+
+
+#: Sketch families constructible from a request spec, by ``spec()`` type.
+FAMILIES: Dict[str, Type[SketchFamily]] = {
+    cls.__qualname__: cls
+    for cls in (
+        CountSketch,
+        GaussianSketch,
+        HadamardBlockSketch,
+        LeverageSampling,
+        OSNAP,
+        RowSampling,
+        SparseJL,
+        SRHT,
+    )
+}
+
+#: Hard instances constructible from a request spec, by ``spec()`` type.
+#: :class:`MixtureInstance` is handled recursively by
+#: :func:`instance_from_spec` rather than listed here.
+INSTANCES: Dict[str, Type[HardInstance]] = {
+    cls.__qualname__: cls
+    for cls in (DBeta, PermutedIdentity, SpikedSubspace)
+}
+
+
+def require(payload: Dict[str, Any], field: str) -> Any:
+    """The value of a required request field, or :class:`BadRequest`."""
+    if field not in payload:
+        raise BadRequest(f"missing required field {field!r}")
+    return payload[field]
+
+
+def require_positive_int(value: Any, field: str) -> int:
+    """Coerce a request field to a positive ``int`` (bools rejected)."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise BadRequest(f"{field} must be a positive integer, got "
+                         f"{value!r}")
+    if value <= 0:
+        raise BadRequest(f"{field} must be positive, got {value}")
+    return value
+
+
+def require_positive_float(value: Any, field: str) -> float:
+    """Coerce a request field to a positive finite ``float``."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise BadRequest(f"{field} must be a positive number, got "
+                         f"{value!r}")
+    result = float(value)
+    if not result > 0 or result != result or result == float("inf"):
+        raise BadRequest(f"{field} must be positive and finite, got "
+                         f"{value!r}")
+    return result
+
+
+def _construct(cls: Type[Any], kwargs: Dict[str, Any],
+               what: str) -> Any:
+    """Build ``cls`` from spec fields, filtered to its signature.
+
+    Inherited specs can carry fields a subclass constructor no longer
+    takes (``PermutedIdentity`` reports the ``reps``/``distinct_rows`` of
+    its :class:`DBeta` base); the round-trip check in the callers is what
+    guarantees the dropped fields were redundant rather than meaningful.
+    """
+    try:
+        accepted = set(inspect.signature(cls).parameters)
+    except (TypeError, ValueError):  # pragma: no cover - builtins only
+        accepted = set(kwargs)
+    filtered = {name: value for name, value in kwargs.items()
+                if name in accepted}
+    try:
+        return cls(**filtered)
+    except (TypeError, ValueError) as exc:
+        raise BadRequest(f"invalid {what} spec for "
+                         f"{cls.__qualname__}: {exc}") from None
+
+
+def _spec_mismatch(request: Any, canonical: Any,
+                   path: str) -> Optional[str]:
+    """First inconsistency between a request spec and a canonical one.
+
+    The request may *omit* fields (constructor defaults fill them in),
+    but every field it does send must round-trip to the same canonical
+    value — an unknown key, a wrong value, or a value the constructor
+    normalizes differently is a mismatch.  Nested dicts are checked
+    recursively so partial family ``params`` work; lists (mixture
+    components) must match element-wise.
+    """
+    if isinstance(request, dict) and isinstance(canonical, dict):
+        for name, value in request.items():
+            if name not in canonical:
+                return f"unknown field {path}{name}"
+            found = _spec_mismatch(value, canonical[name],
+                                   f"{path}{name}.")
+            if found is not None:
+                return found
+        return None
+    if isinstance(request, list) and isinstance(canonical, list):
+        if len(request) != len(canonical):
+            return (f"{path.rstrip('.')} has {len(request)} entries, "
+                    f"canonically {len(canonical)}")
+        for index, (req, canon) in enumerate(zip(request, canonical)):
+            found = _spec_mismatch(req, canon, f"{path}{index}.")
+            if found is not None:
+                return found
+        return None
+    if canonical_json(request) != canonical_json(canonical):
+        return (f"{path.rstrip('.')} is {canonical_json(request)}, "
+                f"canonically {canonical_json(canonical)}")
+    return None
+
+
+def _verify_round_trip(built: Any, spec: Dict[str, Any],
+                       what: str) -> None:
+    mismatch = _spec_mismatch(spec, built.spec(), "")
+    if mismatch is not None:
+        raise BadRequest(
+            f"{what} spec does not round-trip through "
+            f"{type(built).__qualname__}: {mismatch} "
+            f"(canonical spec: {canonical_json(built.spec())})"
+        )
+
+
+def family_from_spec(spec: Any) -> SketchFamily:
+    """Rebuild a :class:`~repro.sketch.base.SketchFamily` from its spec.
+
+    Accepts the ``{"type": ..., "params": {...}}`` shape produced by
+    :meth:`SketchFamily.spec` — the same dictionary that keys the probe
+    cache, so a replayed server request hashes identically to the
+    original offline computation.
+    """
+    if not isinstance(spec, dict):
+        raise BadRequest(f"family must be a spec object, got "
+                         f"{type(spec).__name__}")
+    kind = spec.get("type")
+    if kind not in FAMILIES:
+        raise BadRequest(
+            f"unknown sketch family {kind!r}; serveable families: "
+            f"{', '.join(sorted(FAMILIES))}"
+        )
+    params = spec.get("params")
+    if not isinstance(params, dict):
+        raise BadRequest(f"family spec for {kind} must carry a params "
+                         f"object")
+    built = _construct(FAMILIES[kind], params, "family")
+    _verify_round_trip(built, spec, "family")
+    return built
+
+
+def instance_from_spec(spec: Any) -> HardInstance:
+    """Rebuild a :class:`~repro.hardinstances.HardInstance` from its spec.
+
+    Instance specs are flat (``{"type", "n", "d", ...extras}``);
+    :class:`MixtureInstance` specs nest component specs and are rebuilt
+    recursively.
+    """
+    if not isinstance(spec, dict):
+        raise BadRequest(f"instance must be a spec object, got "
+                         f"{type(spec).__name__}")
+    kind = spec.get("type")
+    if kind == MixtureInstance.__qualname__:
+        components_spec = spec.get("components")
+        if not isinstance(components_spec, list) or not components_spec:
+            raise BadRequest("MixtureInstance spec must carry a non-empty "
+                             "components list")
+        components = [instance_from_spec(comp) for comp in components_spec]
+        built: HardInstance = _construct(
+            MixtureInstance,
+            {"components": components, "weights": spec.get("weights")},
+            "instance",
+        )
+        _verify_round_trip(built, spec, "instance")
+        return built
+    if kind not in INSTANCES:
+        serveable: List[str] = sorted(INSTANCES)
+        serveable.append(MixtureInstance.__qualname__)
+        raise BadRequest(
+            f"unknown hard instance {kind!r}; serveable instances: "
+            f"{', '.join(sorted(serveable))}"
+        )
+    kwargs = {name: value for name, value in spec.items() if name != "type"}
+    built = _construct(INSTANCES[kind], kwargs, "instance")
+    _verify_round_trip(built, spec, "instance")
+    return built
+
+
+def optional_field(payload: Dict[str, Any], field: str,
+                   default: Any,
+                   coerce: Optional[Callable[[Any, str], Any]] = None
+                   ) -> Any:
+    """An optional request field with a default and optional coercion."""
+    if field not in payload or payload[field] is None:
+        return default
+    value = payload[field]
+    return coerce(value, field) if coerce is not None else value

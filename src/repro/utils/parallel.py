@@ -38,6 +38,7 @@ from .validation import check_positive_int
 __all__ = [
     "ShardSpec",
     "TrialExecutor",
+    "available_cpus",
     "normalize_shard",
     "resolve_workers",
     "run_trials",
@@ -55,10 +56,33 @@ TrialFn = Callable[[np.random.SeedSequence], Any]
 ChunkFn = Callable[[Sequence[np.random.SeedSequence]], list]
 
 
+def available_cpus() -> int:
+    """CPUs this process may actually run on, not just what the host has.
+
+    ``os.cpu_count()`` reports the machine's processors even when the
+    process is pinned to a cpuset slice (containers, ``taskset``, k8s CPU
+    limits) — sizing a process pool from it over-subscribes the slice and
+    thrashes.  The scheduler affinity mask is authoritative where exposed
+    (Linux); platforms without ``sched_getaffinity`` fall back to
+    ``os.cpu_count()``.  Always at least 1.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0)) or 1
+        except OSError:
+            pass
+    return os.cpu_count() or 1
+
+
 def resolve_workers(workers: Optional[int]) -> int:
-    """Normalize a ``workers`` knob: ``None``/``0`` means all CPUs."""
+    """Normalize a ``workers`` knob: ``None``/``0`` means all available CPUs.
+
+    "Available" is affinity-aware (:func:`available_cpus`), so a cpuset-
+    limited container sizes its pools from its actual CPU slice.
+    """
     if workers is None or workers == 0:
-        return os.cpu_count() or 1
+        return available_cpus()
     if workers < 0:
         raise ValueError(f"workers must be nonnegative or None, got {workers}")
     return workers

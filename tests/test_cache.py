@@ -115,6 +115,44 @@ class TestJsonlStore:
             store.append({"value": np.float64("nan")})
         assert not (tmp_path / "s.jsonl").exists()
 
+    def test_concurrent_multiprocess_appends_never_tear(self, tmp_path):
+        # The O_APPEND atomicity contract: several processes hammering
+        # one store (a server worker plus CLI runs) interleave whole
+        # lines, never fragments.  Buffered-handle appends fail this:
+        # a flush can land a line in several write syscalls.
+        import multiprocessing
+
+        path = tmp_path / "hammer.jsonl"
+        workers, per_worker = 4, 50
+        processes = [
+            multiprocessing.Process(
+                target=_hammer_appends, args=(path, worker, per_worker),
+            )
+            for worker in range(workers)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        records = JsonlStore(path).load()
+        assert len(records) == workers * per_worker
+        seen = {(record["worker"], record["i"]) for record in records}
+        assert seen == {
+            (worker, i)
+            for worker in range(workers) for i in range(per_worker)
+        }
+
+
+def _hammer_appends(path, worker, count):
+    """Module-level so the multiprocess hammer test can spawn it."""
+    store = JsonlStore(path)
+    for i in range(count):
+        # padding makes a torn line overwhelmingly likely to corrupt a
+        # neighbour under buffered I/O, keeping the test sensitive
+        store.append({"worker": worker, "i": i, "pad": "x" * 512})
+    store.close()
+
 
 class TestProbeCacheStore:
     def test_put_get_round_trip(self, tmp_path):

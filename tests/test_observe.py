@@ -7,6 +7,7 @@ harness's ``count_*`` metrics, and the ``summarize`` renderer.
 """
 
 import json
+import math
 import os
 
 import numpy as np
@@ -338,6 +339,137 @@ class TestSummarize:
         text = summarize(events)
         assert "Counters (E1)" in text
         assert "sketch_samples" in text
+
+
+class TestMonotonicStamps:
+    def test_events_carry_both_clocks(self):
+        with RunLedger() as ledger:
+            emit_event("probe", m=4)
+            emit_event("probe", m=8)
+        first, second = ledger.events
+        assert "t" in first and "mono" in first
+        assert second["mono"] >= first["mono"]
+
+    def test_mono_stripped_from_deterministic_view(self):
+        with RunLedger() as ledger:
+            emit_event("probe", m=4)
+        [view] = deterministic_view(ledger.events)
+        assert "mono" not in view and "t" not in view
+
+    def test_mono_not_folded_into_counters_table(self):
+        events = [
+            {"t": 0, "mono": 12.5, "kind": "experiment_start",
+             "experiment": "E1"},
+            {"t": 1, "mono": 13.5, "kind": "counters", "experiment": "E1",
+             "sketch_samples": 20},
+            {"t": 2, "mono": 14.5, "kind": "experiment_end",
+             "experiment": "E1", "elapsed": 1.0},
+        ]
+        text = summarize(events)
+        assert "mono" not in text
+
+    def test_concurrent_thread_emission_never_tears(self, tmp_path):
+        # The estimation server emits from several compute threads into
+        # one request-log ledger; every line must parse and none may drop.
+        import threading
+
+        path = tmp_path / "threads.jsonl"
+        ledger = RunLedger(path, buffer_lines=2, keep_events=False)
+        per_thread = 200
+
+        def hammer(worker):
+            for i in range(per_thread):
+                ledger.emit("probe", worker=worker, i=i)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        ledger.close()
+        events = read_events(path)
+        assert len(events) == 4 * per_thread
+
+
+class TestNegativeIntervalClamping:
+    def _events(self, elapsed):
+        return [
+            {"t": 100.0, "kind": "experiment_start", "experiment": "E1"},
+            {"t": 90.0, "kind": "experiment_end", "experiment": "E1",
+             "elapsed": elapsed},
+            {"t": 91.0, "kind": "trace", "name": "span",
+             "elapsed": elapsed},
+        ]
+
+    def test_negative_intervals_clamped_and_flagged(self):
+        # A legacy ledger spanning an NTP step backwards: summarize must
+        # neither render negative seconds nor pretend the data is clean.
+        text = summarize(self._events(-5.0))
+        assert "-5.0" not in text
+        assert "negative interval" in text
+        assert "2 negative interval(s)" in text
+
+    def test_clean_ledger_not_flagged(self):
+        text = summarize(self._events(5.0))
+        assert "negative interval" not in text
+
+    def test_mono_fallback_for_missing_elapsed(self):
+        # An end event without elapsed (older emitter) still gets a
+        # wall-clock figure when both events carry comparable mono stamps.
+        events = [
+            {"t": 0.0, "mono": 10.0, "pid": 1, "kind": "experiment_start",
+             "experiment": "E1"},
+            {"t": 1.0, "mono": 12.5, "pid": 1, "kind": "experiment_end",
+             "experiment": "E1"},
+        ]
+        text = summarize(events)
+        assert "2.50" in text
+
+    def test_mono_span_guards(self):
+        from repro.observe.summarize import _mono_span
+
+        # different processes: mono epochs are incomparable
+        assert _mono_span({"mono": 10.0, "pid": 1},
+                          {"mono": 12.5, "pid": 2}) is None
+        # backwards mono (corrupt/edited ledger) is not a duration
+        assert _mono_span({"mono": 12.5, "pid": 1},
+                          {"mono": 10.0, "pid": 1}) is None
+        # missing stamps (legacy ledger) fall through to "?"
+        assert _mono_span({"pid": 1}, {"mono": 10.0, "pid": 1}) is None
+        span = _mono_span({"mono": 10.0, "pid": 1},
+                          {"mono": 12.5, "pid": 1})
+        assert span is not None and math.isclose(span, 2.5)
+
+
+class TestScopedCounters:
+    def test_use_counters_isolates_and_restores(self):
+        from repro.observe import use_counters
+
+        baseline = counters().get("scoped_test")
+        scoped = Counters()
+        with use_counters(scoped):
+            add_count("scoped_test", 3)
+            assert counters() is scoped
+        assert scoped.get("scoped_test") == 3
+        assert counters().get("scoped_test") == baseline
+
+    def test_scope_is_thread_local_via_context_copy(self):
+        # asyncio.to_thread copies the calling context; the scoped
+        # aggregate must follow the copy while other threads keep the
+        # global.  Exercised directly with contextvars.copy_context().
+        import contextvars
+
+        from repro.observe import use_counters
+
+        scoped = Counters()
+        with use_counters(scoped):
+            context = contextvars.copy_context()
+        baseline = counters().get("ctx_test")
+        context.run(add_count, "ctx_test", 2)
+        assert scoped.get("ctx_test") == 2
+        assert counters().get("ctx_test") == baseline
 
 
 class TestMultiStreamSummarize:

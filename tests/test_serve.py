@@ -1,0 +1,500 @@
+"""Tests for the estimation server (:mod:`repro.serve`).
+
+Four layers, matching the package's own:
+
+* parameter validation — spec round-trips, unknown types, bad values;
+* the single-flight gate — coalescing, backpressure, drain;
+* the service — offline bit-identity (cold and warm), replay envelopes,
+  per-request cache tallies, exactly-one-computation under concurrent
+  duplicates (asserted from the ledger's ``batch_dispatch`` events);
+* the HTTP transport — status mapping, Retry-After, graceful shutdown.
+
+Concurrency-sensitive tests never sleep-and-hope: the computation is
+blocked on a :class:`threading.Event` injected into ``_execute``, so
+followers attach and rejections trigger deterministically.
+"""
+
+import asyncio
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cache import ProbeCache
+from repro.core.tester import failure_estimate, minimal_m
+from repro.hardinstances import DBeta, MixtureInstance, PermutedIdentity
+from repro.observe.ledger import read_events
+from repro.serve import (
+    BadRequest,
+    Draining,
+    EstimationService,
+    Overloaded,
+    ServeClient,
+    ServeError,
+    ServeHTTP,
+    SingleFlightGate,
+    family_from_spec,
+    instance_from_spec,
+)
+from repro.sketch import CountSketch, OSNAP
+from repro.utils.rng import seed_fingerprint
+
+pytestmark = pytest.mark.serve
+
+FAMILY_SPEC = {"type": "CountSketch", "params": {"m": 16, "n": 64}}
+INSTANCE_SPEC = {"type": "PermutedIdentity", "n": 64, "d": 4}
+ESTIMATE_REQUEST = {
+    "family": FAMILY_SPEC,
+    "instance": INSTANCE_SPEC,
+    "epsilon": 0.5,
+    "trials": 40,
+    "seed": 0,
+}
+
+
+class TestParams:
+    def test_family_round_trips(self):
+        family = family_from_spec(FAMILY_SPEC)
+        assert isinstance(family, CountSketch)
+        assert family.spec() == CountSketch(16, 64).spec()
+
+    def test_family_with_defaults_omitted(self):
+        family = family_from_spec(
+            {"type": "OSNAP", "params": {"m": 8, "n": 32, "s": 2}}
+        )
+        assert isinstance(family, OSNAP)
+        assert family.spec()["params"]["variant"] == "uniform"
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(BadRequest, match="unknown sketch family"):
+            family_from_spec({"type": "NoSuchSketch", "params": {}})
+
+    def test_bogus_param_rejected(self):
+        with pytest.raises(BadRequest, match="unknown field"):
+            family_from_spec(
+                {"type": "CountSketch",
+                 "params": {"m": 16, "n": 64, "sparsity": 3}}
+            )
+
+    def test_invalid_param_value_rejected(self):
+        with pytest.raises(BadRequest):
+            family_from_spec(
+                {"type": "CountSketch", "params": {"m": -1, "n": 64}}
+            )
+
+    def test_instance_partial_spec_fills_defaults(self):
+        instance = instance_from_spec(INSTANCE_SPEC)
+        assert isinstance(instance, PermutedIdentity)
+        # the canonical spec carries the DBeta base's defaulted fields
+        assert instance.spec()["reps"] == 1
+
+    def test_instance_wrong_value_rejected(self):
+        with pytest.raises(BadRequest, match="round-trip"):
+            instance_from_spec(
+                {"type": "PermutedIdentity", "n": 64, "d": 4, "reps": 3}
+            )
+
+    def test_mixture_rebuilt_recursively(self):
+        mixture = MixtureInstance(
+            [DBeta(64, 4), PermutedIdentity(64, 4)], [0.25, 0.75],
+        )
+        rebuilt = instance_from_spec(mixture.spec())
+        assert rebuilt.spec() == mixture.spec()
+
+    def test_non_dict_spec_rejected(self):
+        with pytest.raises(BadRequest, match="spec object"):
+            family_from_spec("CountSketch")
+
+
+class TestSingleFlightGate:
+    def test_inflight_bound_validated(self):
+        with pytest.raises(ValueError):
+            SingleFlightGate(0)
+
+    def test_leader_exception_propagates_to_followers(self):
+        async def scenario():
+            gate = SingleFlightGate(4)
+            release = asyncio.Event()
+
+            async def failing():
+                await release.wait()
+                raise RuntimeError("boom")
+
+            async def fast():
+                return "never"
+
+            leader = asyncio.create_task(gate.run("k", failing))
+            await asyncio.sleep(0)
+            follower = asyncio.create_task(gate.run("k", fast))
+            await asyncio.sleep(0)
+            release.set()
+            with pytest.raises(RuntimeError, match="boom"):
+                await leader
+            with pytest.raises(RuntimeError, match="boom"):
+                await follower
+
+        asyncio.run(scenario())
+
+    def test_distinct_keys_beyond_limit_rejected(self):
+        async def scenario():
+            gate = SingleFlightGate(1)
+            release = asyncio.Event()
+
+            async def slow():
+                await release.wait()
+                return 1
+
+            leader = asyncio.create_task(gate.run("a", slow))
+            await asyncio.sleep(0)
+            with pytest.raises(Overloaded) as excinfo:
+                await gate.run("b", slow)
+            assert excinfo.value.retry_after > 0
+            release.set()
+            assert await leader == (1, False)
+
+        asyncio.run(scenario())
+
+    def test_drain_refuses_new_and_waits_for_inflight(self):
+        async def scenario():
+            gate = SingleFlightGate(4)
+            release = asyncio.Event()
+            done = []
+
+            async def slow():
+                await release.wait()
+                done.append(True)
+                return 42
+
+            leader = asyncio.create_task(gate.run("a", slow))
+            await asyncio.sleep(0)
+            drainer = asyncio.create_task(gate.drain())
+            await asyncio.sleep(0)
+            with pytest.raises(Draining):
+                await gate.run("b", slow)
+            assert not drainer.done()
+            release.set()
+            await drainer
+            assert done == [True]
+            assert await leader == (42, False)
+
+        asyncio.run(scenario())
+
+
+def _blocking_execute(monkeypatch, started, release):
+    """Patch ``_execute`` to block until ``release`` (deterministic
+    concurrency: followers attach / rejections fire while blocked)."""
+    original = EstimationService._execute
+
+    def blocked(self, plan):
+        started.set()
+        assert release.wait(timeout=30), "test deadlock: never released"
+        return original(self, plan)
+
+    monkeypatch.setattr(EstimationService, "_execute", blocked)
+
+
+class TestServiceIdentity:
+    def test_cold_response_matches_offline_api(self, tmp_path):
+        service = EstimationService(tmp_path / "cache")
+        response = asyncio.run(
+            service.handle("failure_estimate", ESTIMATE_REQUEST)
+        )
+        offline = failure_estimate(
+            CountSketch(16, 64), PermutedIdentity(64, 4), 0.5, 40, rng=0,
+        )
+        assert response["result"]["successes"] == offline.successes
+        assert response["result"]["trials"] == offline.trials
+        assert response["result"]["point"] == offline.point
+        assert response["cache"] == {"hits": 0, "misses": 1}
+        service.close()
+
+    def test_warm_response_byte_identical_and_hit(self, tmp_path):
+        service = EstimationService(tmp_path / "cache")
+        cold = asyncio.run(
+            service.handle("failure_estimate", ESTIMATE_REQUEST)
+        )
+        warm = asyncio.run(
+            service.handle("failure_estimate", ESTIMATE_REQUEST)
+        )
+        assert json.dumps(cold["result"], sort_keys=True) == \
+            json.dumps(warm["result"], sort_keys=True)
+        assert warm["cache"] == {"hits": 1, "misses": 0}
+        assert cold["replay"] == warm["replay"]
+        service.close()
+
+    def test_warm_across_service_instances_shares_cli_cache(self, tmp_path):
+        # A CLI-style offline run against the same cache directory warms
+        # the server: the shared store is one economy, not two.
+        cache = ProbeCache(tmp_path / "cache")
+        failure_estimate(
+            CountSketch(16, 64), PermutedIdentity(64, 4), 0.5, 40, rng=0,
+            cache=cache,
+        )
+        cache.close()
+        service = EstimationService(tmp_path / "cache")
+        response = asyncio.run(
+            service.handle("failure_estimate", ESTIMATE_REQUEST)
+        )
+        assert response["cache"] == {"hits": 1, "misses": 0}
+        service.close()
+
+    def test_minimal_m_matches_offline(self, tmp_path):
+        service = EstimationService(tmp_path / "cache")
+        response = asyncio.run(service.handle("minimal_m", {
+            "family": FAMILY_SPEC, "instance": INSTANCE_SPEC,
+            "epsilon": 0.5, "delta": 0.2, "trials": 30, "m_max": 64,
+            "seed": 7,
+        }))
+        offline = minimal_m(
+            CountSketch(16, 64), PermutedIdentity(64, 4), 0.5, 0.2,
+            trials=30, m_max=64, rng=7,
+        )
+        assert response["result"]["m_star"] == offline.m_star
+        assert len(response["result"]["evaluations"]) == \
+            len(offline.evaluations)
+        service.close()
+
+    def test_replay_envelope_names_the_computation(self, tmp_path):
+        service = EstimationService(tmp_path / "cache")
+        request = dict(ESTIMATE_REQUEST, seed=5, spawn_key=[2, 1])
+        response = asyncio.run(
+            service.handle("failure_estimate", request)
+        )
+        replay = response["replay"]
+        assert replay["endpoint"] == "failure_estimate"
+        assert replay["seed"] == 5 and replay["spawn_key"] == [2, 1]
+        expected = seed_fingerprint(
+            np.random.SeedSequence(5, spawn_key=(2, 1))
+        )
+        assert replay["seed_fingerprint"] == expected
+        assert replay["params"]["family"] == CountSketch(16, 64).spec()
+        service.close()
+
+    def test_spawn_key_changes_the_stream(self, tmp_path):
+        service = EstimationService(tmp_path / "cache")
+        base = asyncio.run(
+            service.handle("failure_estimate", ESTIMATE_REQUEST)
+        )
+        keyed = asyncio.run(service.handle(
+            "failure_estimate", dict(ESTIMATE_REQUEST, spawn_key=[1]),
+        ))
+        assert base["replay"]["key"] != keyed["replay"]["key"]
+        service.close()
+
+    def test_validation_errors_are_bad_requests(self, tmp_path):
+        service = EstimationService(tmp_path / "cache")
+        cases = [
+            ("failure_estimate", {}),
+            ("failure_estimate", dict(ESTIMATE_REQUEST, trials=0)),
+            ("failure_estimate", dict(ESTIMATE_REQUEST, seed=-1)),
+            ("failure_estimate", dict(ESTIMATE_REQUEST, epsilon="big")),
+            ("nonsense_endpoint", {}),
+            ("run_experiment", {"experiment": "E999"}),
+            ("minimal_m", {"family": FAMILY_SPEC,
+                           "instance": INSTANCE_SPEC,
+                           "epsilon": 0.5, "delta": 1.5}),
+            ("sketch_apply", {"family": FAMILY_SPEC,
+                              "matrix": [[1.0, 2.0]]}),
+        ]
+        for endpoint, payload in cases:
+            with pytest.raises(BadRequest):
+                asyncio.run(service.handle(endpoint, payload))
+        service.close()
+
+
+class TestServiceConcurrency:
+    def test_concurrent_duplicates_compute_once(self, tmp_path,
+                                                monkeypatch):
+        ledger = tmp_path / "ledger.jsonl"
+        started = threading.Event()
+        release = threading.Event()
+        _blocking_execute(monkeypatch, started, release)
+
+        async def scenario():
+            service = EstimationService(
+                tmp_path / "cache", ledger_path=ledger, max_inflight=2,
+            )
+            tasks = [
+                asyncio.create_task(
+                    service.handle("failure_estimate", ESTIMATE_REQUEST)
+                )
+                for _ in range(5)
+            ]
+            while not started.is_set():
+                await asyncio.sleep(0.01)
+            # the leader is blocked in its thread; cycle the loop until
+            # every other task has attached to the pending future
+            for _ in range(20):
+                await asyncio.sleep(0)
+            assert service.gate.inflight == 1
+            release.set()
+            responses = await asyncio.gather(*tasks)
+            service.close()
+            return responses
+
+        responses = asyncio.run(scenario())
+        payloads = {
+            json.dumps(response, sort_keys=True) for response in responses
+        }
+        assert len(payloads) == 1  # N identical replayable responses
+        events = read_events(ledger)
+        kinds = [event["kind"] for event in events]
+        assert kinds.count("batch_dispatch") == 1  # exactly 1 computation
+        assert kinds.count("request_start") == 1
+        assert kinds.count("cache_miss") == 1
+        assert kinds.count("cache_hit") == 0
+
+    def test_backpressure_rejects_distinct_excess_work(self, tmp_path,
+                                                       monkeypatch):
+        started = threading.Event()
+        release = threading.Event()
+        _blocking_execute(monkeypatch, started, release)
+
+        async def scenario():
+            service = EstimationService(
+                tmp_path / "cache", max_inflight=1,
+            )
+            leader = asyncio.create_task(
+                service.handle("failure_estimate", ESTIMATE_REQUEST)
+            )
+            while not started.is_set():
+                await asyncio.sleep(0.01)
+            other = dict(ESTIMATE_REQUEST, trials=41)
+            with pytest.raises(Overloaded) as excinfo:
+                await service.handle("failure_estimate", other)
+            assert excinfo.value.retry_after > 0
+            # duplicates of the in-flight request still coalesce freely
+            follower = asyncio.create_task(
+                service.handle("failure_estimate", ESTIMATE_REQUEST)
+            )
+            for _ in range(20):
+                await asyncio.sleep(0)
+            release.set()
+            first, second = await asyncio.gather(leader, follower)
+            service.close()
+            assert first == second
+
+        asyncio.run(scenario())
+
+    def test_drain_finishes_inflight_then_refuses(self, tmp_path,
+                                                  monkeypatch):
+        started = threading.Event()
+        release = threading.Event()
+        _blocking_execute(monkeypatch, started, release)
+
+        async def scenario():
+            service = EstimationService(tmp_path / "cache")
+            leader = asyncio.create_task(
+                service.handle("failure_estimate", ESTIMATE_REQUEST)
+            )
+            while not started.is_set():
+                await asyncio.sleep(0.01)
+            drainer = asyncio.create_task(service.drain())
+            await asyncio.sleep(0)
+            with pytest.raises(Draining):
+                await service.handle(
+                    "failure_estimate", dict(ESTIMATE_REQUEST, trials=99),
+                )
+            assert not drainer.done()
+            release.set()
+            await drainer
+            response = await leader
+            service.close()
+            assert response["result"]["trials"] == 40
+
+        asyncio.run(scenario())
+
+
+class TestHTTP:
+    @staticmethod
+    async def _with_server(tmp_path, fn, **service_kwargs):
+        service = EstimationService(tmp_path / "cache", **service_kwargs)
+        server = ServeHTTP(service, port=0)
+        await server.start()
+        host, port = server.address
+        client = ServeClient(f"http://{host}:{port}")
+        try:
+            return await fn(client)
+        finally:
+            await server.shutdown()
+
+    def test_healthz_metrics_and_compute(self, tmp_path):
+        async def check(client):
+            health = await asyncio.to_thread(client.healthz)
+            assert health["status"] == "ok"
+            cold = await asyncio.to_thread(
+                client.call, "failure_estimate", ESTIMATE_REQUEST,
+            )
+            warm = await asyncio.to_thread(
+                client.call, "failure_estimate", ESTIMATE_REQUEST,
+            )
+            assert cold["result"] == warm["result"]
+            assert warm["cache"] == {"hits": 1, "misses": 0}
+            metrics = await asyncio.to_thread(client.metrics)
+            assert metrics["server"]["requests_total"] == 2
+            assert metrics["counters"]["cache_hit"] >= 1
+
+        asyncio.run(self._with_server(tmp_path, check))
+
+    def test_http_error_mapping(self, tmp_path):
+        async def check(client):
+            with pytest.raises(ServeError) as excinfo:
+                await asyncio.to_thread(
+                    client.call, "failure_estimate", {"epsilon": 0.5},
+                )
+            assert excinfo.value.status == 400
+            with pytest.raises(ServeError) as excinfo:
+                await asyncio.to_thread(client.call, "no_such", {})
+            assert excinfo.value.status == 404
+            with pytest.raises(ServeError) as excinfo:
+                await asyncio.to_thread(
+                    client._request, "POST", "/healthz", {},
+                )
+            assert excinfo.value.status == 405
+
+        asyncio.run(self._with_server(tmp_path, check))
+
+    def test_http_429_carries_retry_after(self, tmp_path, monkeypatch):
+        started = threading.Event()
+        release = threading.Event()
+        _blocking_execute(monkeypatch, started, release)
+
+        async def check(client):
+            blocked = asyncio.create_task(asyncio.to_thread(
+                client.call, "failure_estimate", ESTIMATE_REQUEST,
+            ))
+            while not started.is_set():
+                await asyncio.sleep(0.01)
+            with pytest.raises(ServeError) as excinfo:
+                await asyncio.to_thread(
+                    client.call, "failure_estimate",
+                    dict(ESTIMATE_REQUEST, trials=41),
+                )
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after is not None
+            release.set()
+            await blocked
+
+        asyncio.run(
+            self._with_server(tmp_path, check, max_inflight=1)
+        )
+
+    def test_server_ledger_summarizes(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+
+        async def check(client):
+            await asyncio.to_thread(
+                client.call, "failure_estimate", ESTIMATE_REQUEST,
+            )
+            await asyncio.to_thread(
+                client.call, "failure_estimate", ESTIMATE_REQUEST,
+            )
+
+        asyncio.run(
+            self._with_server(tmp_path, check, ledger_path=ledger)
+        )
+        from repro.observe.summarize import summarize_path
+
+        report = summarize_path(ledger)
+        assert "Probe cache: 1/2 hits" in report

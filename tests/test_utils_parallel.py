@@ -20,7 +20,12 @@ from repro.hardinstances.dbeta import DBeta
 from repro.sketch.countsketch import CountSketch
 from repro.sketch.gaussian import GaussianSketch
 from repro.sketch.streaming import StreamingSketcher
-from repro.utils.parallel import TrialExecutor, resolve_workers, run_trials
+from repro.utils.parallel import (
+    TrialExecutor,
+    available_cpus,
+    resolve_workers,
+    run_trials,
+)
 from repro.utils.rng import as_generator, spawn, spawn_seeds
 from repro.utils.stats import estimate_probability
 
@@ -60,6 +65,29 @@ class TestTrialExecutor:
         assert resolve_workers(None) >= 1
         assert resolve_workers(0) == resolve_workers(None)
         assert resolve_workers(3) == 3
+
+    def test_default_workers_respect_scheduler_affinity(self):
+        # In a cpuset-limited container, os.cpu_count() reports the
+        # host's cores; the default worker count must use the affinity
+        # mask instead, falling back only where the syscall is absent.
+        import os
+
+        assert resolve_workers(None) == available_cpus()
+        if hasattr(os, "sched_getaffinity"):
+            assert available_cpus() == len(os.sched_getaffinity(0))
+        else:  # pragma: no cover - non-Linux fallback
+            assert available_cpus() == (os.cpu_count() or 1)
+
+    def test_affinity_fallback_when_syscall_fails(self, monkeypatch):
+        import repro.utils.parallel as parallel_module
+
+        def broken(pid):
+            raise OSError("no affinity")
+
+        monkeypatch.setattr(parallel_module.os, "sched_getaffinity",
+                            broken, raising=False)
+        assert parallel_module.available_cpus() == \
+            (parallel_module.os.cpu_count() or 1)
 
     def test_invalid_arguments_raise(self):
         with pytest.raises(ValueError):
